@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Figure benchmarks run reduced sweeps (fewer buffer points than the
+experiment CLIs) once per session via ``benchmark.pedantic`` — a full
+simulated collective is the unit of measurement, not a micro-op.
+"""
+
+import pytest
+
+
+def one_shot(benchmark, fn):
+    """Run `fn` exactly once under the benchmark timer and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping :func:`one_shot`."""
+
+    def _run(fn):
+        return one_shot(benchmark, fn)
+
+    return _run

@@ -1,0 +1,24 @@
+"""Benchmark: ablation of MCIO's mechanisms plus the memory-pressure claims.
+
+These regenerate the two extension studies DESIGN.md calls out beyond the
+paper's own figures.
+"""
+
+from repro.experiments import ablation, memory_pressure
+
+
+def test_ablation_variants(once):
+    result = once(lambda: ablation.run(buffer_mib=16, seed=0))
+    full = result.variants["mcio (full)"]
+    oblivious = result.variants["memory-oblivious"]
+    # memory awareness is the load-bearing mechanism
+    assert oblivious.bandwidth < full.bandwidth
+    assert full.bandwidth > result.baseline.bandwidth
+    assert full.paged_aggregators == 0
+
+
+def test_memory_pressure_claims(once):
+    result = once(lambda: memory_pressure.run(buffer_mib=16, seed=0))
+    assert result.check_claims() == []
+    assert result.mcio.overcommit_peak == 0
+    assert result.baseline.overcommit_peak > 0

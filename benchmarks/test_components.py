@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the hot component paths.
+
+Unlike the figure benchmarks (one full simulated collective per round),
+these run many iterations and track the library's own performance:
+extent algebra, partition-tree construction, group division, planning,
+and raw discrete-event throughput.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, block_placement
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO, TwoPhaseCollectiveIO
+from repro.core.group_division import divide_groups
+from repro.core.partition_tree import PartitionTree
+from repro.core.request import Extent, StridedSegment
+from repro.mpi import SimComm, subarray_view_3d
+from repro.pfs import ParallelFileSystem
+from repro.sim import Environment, RngFactory
+from repro.workloads import CollPerfWorkload, IORWorkload
+
+
+def test_strided_bytes_in(benchmark):
+    seg = StridedSegment(offset=0, block=4096, stride=1 << 20, count=4096)
+
+    def run():
+        total = 0
+        for i in range(1000):
+            total += seg.bytes_in(i * 1000, i * 1000 + 500_000)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_pattern_clip_3d(benchmark):
+    view = subarray_view_3d((256, 256, 256), (64, 64, 64), (64, 64, 64), 4)
+
+    def run():
+        total = 0
+        for i in range(100):
+            q = view.clip(i * 100_000, i * 100_000 + 5_000_000)
+            total += q.nbytes
+        return total
+
+    benchmark(run)
+
+
+def test_partition_tree_build(benchmark):
+    region = Extent(0, 1 << 30)
+
+    def run():
+        tree = PartitionTree(region, lambda lo, hi: hi - lo, msg_ind=1 << 22,
+                             stripe_size=1 << 20)
+        return tree.n_leaves
+
+    assert benchmark(run) == 256
+
+
+def test_group_division_1080_ranks(benchmark):
+    workload = IORWorkload(n_ranks=1080, block_size=1 << 19, segments=4)
+    patterns = workload.patterns()
+    placement = [r // 12 for r in range(1080)]
+
+    def run():
+        return len(divide_groups(patterns, placement, msg_group=96 << 20,
+                                 stripe_size=1 << 20))
+
+    assert benchmark(run) > 1
+
+
+def test_mcio_planning_120_ranks(benchmark):
+    workload = CollPerfWorkload(array_shape=(256, 256, 256), n_ranks=120)
+    patterns = workload.patterns()
+    env = Environment()
+    spec = ClusterSpec(nodes=10, node=NodeSpec())
+    cluster = Cluster(env, spec, RngFactory(0))
+    comm = SimComm(env, cluster, block_placement(120, 10, 12))
+    pfs = ParallelFileSystem(env, spec.storage)
+    engine = MemoryConsciousCollectiveIO(
+        comm, pfs,
+        MCIOConfig(msg_group=16 << 20, msg_ind=4 << 20, mem_min=0, nah=2),
+    )
+    avail = {i: 1 << 30 for i in range(10)}
+
+    def run():
+        return len(engine.plan(patterns, dict(avail)).domains)
+
+    assert benchmark(run) > 0
+
+
+def test_two_phase_planning_120_ranks(benchmark):
+    workload = CollPerfWorkload(array_shape=(256, 256, 256), n_ranks=120)
+    patterns = workload.patterns()
+    env = Environment()
+    spec = ClusterSpec(nodes=10, node=NodeSpec())
+    cluster = Cluster(env, spec, RngFactory(0))
+    comm = SimComm(env, cluster, block_placement(120, 10, 12))
+    pfs = ParallelFileSystem(env, spec.storage)
+    engine = TwoPhaseCollectiveIO(comm, pfs)
+
+    def run():
+        return len(engine.plan(patterns).domains)
+
+    assert benchmark(run) == 10
+
+
+def test_event_engine_throughput(benchmark):
+    """Raw DES throughput: ping-pong processes exchanging events."""
+
+    def run():
+        env = Environment()
+        counter = [0]
+
+        def ping(env, n):
+            for _ in range(n):
+                yield env.timeout(1.0)
+                counter[0] += 1
+
+        for _ in range(10):
+            env.process(ping(env, 500))
+        env.run()
+        return counter[0]
+
+    assert benchmark(run) == 5000
+
+
+def test_workload_generation_paper_scale(benchmark):
+    """Generating the 32 GB coll_perf pattern set must stay cheap."""
+
+    def run():
+        w = CollPerfWorkload.paper()
+        patterns = w.patterns()
+        return sum(p.nbytes for p in patterns)
+
+    assert benchmark(run) == 32 * 1024**3

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 6 — coll_perf bandwidth vs aggregation memory.
+
+Runs a reduced sweep (three buffer points, write+read) of the Figure 6
+reproduction and asserts the paper's shape: MCIO wins at every point.
+The full five-point sweep is ``python -m repro.experiments.figure6``.
+"""
+
+from dataclasses import replace
+
+from repro.cluster import MIB
+from repro.experiments.figure6 import small_config
+from repro.experiments.figures import run_figure
+
+
+def test_figure6_sweep(once):
+    config = replace(
+        small_config(),
+        buffer_sizes=tuple(m * MIB for m in (64, 16, 4)),
+    )
+    result = once(lambda: run_figure(config))
+    issues = result.check_shape()
+    assert issues == [], "\n".join(issues)
+
+    for op in ("write", "read"):
+        rows = result.rows(op)
+        assert len(rows) == 3
+        for buffer_bytes, base, mcio, improvement in rows:
+            assert mcio >= base, f"{op}@{buffer_bytes}: MCIO lost"
+    # the paper's headline: positive average improvement on both ops
+    avgs = result.average_improvements()
+    assert avgs["write"] > 15.0
+    assert avgs["read"] > 15.0

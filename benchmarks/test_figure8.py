@@ -1,0 +1,33 @@
+"""Benchmark: Figure 8 — IOR at 1080 cores vs aggregation memory.
+
+Reduced sweep (two buffer points, the 32 MiB and 4 MiB ends) of the
+Figure 8 reproduction: 1080 simulated ranks on 90 nodes.  The full sweep
+is ``python -m repro.experiments.figure8``.
+"""
+
+from dataclasses import replace
+
+from repro.cluster import MIB
+from repro.experiments.figure8 import small_config
+from repro.experiments.figures import run_figure
+
+
+def test_figure8_sweep(once):
+    config = replace(
+        small_config(),
+        buffer_sizes=tuple(m * MIB for m in (32, 4)),
+    )
+    result = once(lambda: run_figure(config))
+    issues = result.check_shape()
+    assert issues == [], "\n".join(issues)
+
+    for op in ("write", "read"):
+        rows = result.rows(op)
+        big, small = rows[0], rows[-1]
+        # the paper's headline degradation: the baseline loses a large
+        # factor from the big-memory to the small-memory end
+        # (write 4.1x, read 2.4x in the paper)
+        assert big[1] / small[1] > 2.0, f"{op}: baseline degraded too little"
+        # MCIO wins at both ends, by more at the starved end
+        assert small[3] > big[3]
+        assert small[3] > 50.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's Table 1.
+
+Prints (via the returned rows) the exascale-vs-2010 design comparison and
+the derived memory-per-core collapse the paper's argument rests on.
+"""
+
+from repro.experiments.table1 import derived_rows, render_table1, table1_rows
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(render_table1)
+    rows = table1_rows()
+    assert len(rows) == 11
+    # spot-check the factors the paper highlights
+    factors = {r[0]: r[3] for r in rows}
+    assert factors["Total concurrency"] == "4444"
+    assert factors["System Memory"] == "33"
+    assert factors["I/O Bandwidth"] == "100"
+    # derived: memory per core shrinks to megabytes
+    mpc = next(r for r in derived_rows() if r[0].startswith("Memory per core"))
+    assert float(mpc[3]) < 0.01
+    assert "Table 1" in text

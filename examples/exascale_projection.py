@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Collective I/O across the exascale memory-per-core collapse.
+
+Table 1 of the paper projects memory per core falling from ~2 GB (2010)
+to ~10 MB (2018 exascale) while total concurrency grows 4444x.  This
+example holds the workload and the collective-buffer size fixed and
+sweeps the *available memory per core* across that collapse, comparing
+normal two-phase collective I/O with the memory-conscious strategy at
+each point — the paper's argument in one table.
+
+Run:  python examples/exascale_projection.py   (~1 minute)
+"""
+
+import numpy as np
+
+from repro import (
+    MCIOConfig,
+    MemoryConsciousCollectiveIO,
+    TwoPhaseCollectiveIO,
+    TwoPhaseConfig,
+    ross13_testbed,
+)
+from repro.cluster import MIB
+from repro.experiments.harness import Platform, run_collective
+from repro.experiments.report import format_table, improvement_pct
+from repro.experiments.table1 import render_table1
+from repro.workloads import IORWorkload
+
+N_NODES = 16
+CORES = 12
+N_RANKS = N_NODES * CORES
+BUFFER = 16 * MIB
+#: available memory per core swept across the Table 1 collapse
+MEM_PER_CORE_MIB = [256, 64, 16, 4, 2]
+
+
+def run_era(mem_per_core_mib: int, strategy: str, seed: int = 0):
+    spec = ross13_testbed(nodes=N_NODES)
+    workload = IORWorkload(n_ranks=N_RANKS, block_size=1 * MIB, segments=2)
+    platform = Platform.build(spec, N_RANKS, seed=seed)
+    # per-node availability: cores x per-core budget, +-50% spread across
+    # nodes (the variance Table 1's shared-memory nodes imply)
+    mean = mem_per_core_mib * MIB * CORES
+    platform.cluster.sample_memory_availability(
+        mean_bytes=mean, sigma_bytes=0.5 * mean
+    )
+    if strategy == "two-phase":
+        engine = TwoPhaseCollectiveIO(
+            platform.comm, platform.pfs, TwoPhaseConfig(cb_buffer_size=BUFFER)
+        )
+    else:
+        engine = MemoryConsciousCollectiveIO(
+            platform.comm,
+            platform.pfs,
+            MCIOConfig(
+                msg_group=96 * MIB, msg_ind=16 * MIB, mem_min=0, nah=4,
+                cb_buffer_size=BUFFER, min_buffer=1 * MIB,
+            ),
+        )
+    stats = run_collective(platform, engine, workload.patterns(), ops=("write",))[0]
+    return stats
+
+
+def main():
+    print(render_table1())
+    print()
+    print(
+        f"collective write, {N_RANKS} ranks on {N_NODES} nodes, "
+        f"{BUFFER // MIB} MiB collective buffers, IOR 2 MiB/proc\n"
+    )
+    rows = []
+    for mpc in MEM_PER_CORE_MIB:
+        base = run_era(mpc, "two-phase")
+        mcio = run_era(mpc, "mcio")
+        rows.append(
+            (
+                f"{mpc} MiB/core",
+                f"{base.bandwidth_mib:.0f}",
+                f"{base.paged_aggregators}/{base.n_aggregators}",
+                f"{mcio.bandwidth_mib:.0f}",
+                f"{mcio.paged_aggregators}/{mcio.n_aggregators}",
+                f"{improvement_pct(base.bandwidth_mib, mcio.bandwidth_mib):+.0f}%",
+            )
+        )
+    print(
+        format_table(
+            [
+                "available memory",
+                "two-phase MiB/s",
+                "paged",
+                "MCIO MiB/s",
+                "paged",
+                "improvement",
+            ],
+            rows,
+            title="From petascale-era memory to the exascale collapse:",
+        )
+    )
+    print(
+        "\nAs memory per core collapses toward the exascale projection, the\n"
+        "memory-oblivious baseline degrades while memory-conscious placement\n"
+        "holds on — the paper's scalability argument.  (Past this point the\n"
+        "fixed 16 MiB collective buffer no longer fits a node at all; a\n"
+        "deployment would shrink cb_buffer_size along with the memory.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

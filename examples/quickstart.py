@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Quickstart: collective I/O on a simulated cluster, end to end.
+
+Builds a 3-node / 12-rank platform with a byte-accurate parallel file
+system, then:
+
+1. runs the paper's Figure 2 scenario — six processes performing a
+   collective read through two aggregators — and prints the two-phase
+   trace;
+2. performs a collective *write* of twelve interleaved rank buffers,
+   verifies every byte landed at the right file offset, reads it back
+   collectively, and verifies the round trip;
+3. repeats the write with Memory-Conscious Collective I/O under a
+   heterogeneous memory landscape and compares the two strategies.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    Cluster,
+    ClusterSpec,
+    MemoryConsciousCollectiveIO,
+    MCIOConfig,
+    NodeSpec,
+    ParallelFileSystem,
+    SimComm,
+    SparseFile,
+    StorageSpec,
+    TwoPhaseCollectiveIO,
+    TwoPhaseConfig,
+    block_placement,
+    vector_view,
+)
+from repro.sim import Environment, RngFactory
+
+KIB = 1024
+
+
+def build_platform(n_ranks=12, n_nodes=3, seed=7, server_bandwidth=1e7,
+                   paging_penalty=4.0):
+    """A small cluster + MPI runtime + byte-accurate PFS."""
+    env = Environment()
+    spec = ClusterSpec(
+        nodes=n_nodes,
+        node=NodeSpec(
+            cores=4,
+            memory_bytes=64 * KIB,
+            memory_bandwidth=1e9,
+            memory_channels=2,
+            nic_bandwidth=1e8,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=4,
+            server_bandwidth=server_bandwidth,
+            request_overhead=1e-3,
+            stripe_size=1 * KIB,
+        ),
+        paging_penalty=paging_penalty,
+    )
+    cluster = Cluster(env, spec, RngFactory(seed))
+    comm = SimComm(env, cluster, block_placement(n_ranks, n_nodes, 4))
+    pfs = ParallelFileSystem(env, spec.storage, datastore=SparseFile())
+    return env, cluster, comm, pfs
+
+
+def figure2_trace():
+    """The paper's Figure 2: six readers, two aggregators, two phases."""
+    print("=" * 72)
+    print("Figure 2 — two-phase collective read, 6 processes, 2 aggregators")
+    print("=" * 72)
+    env, cluster, comm, pfs = build_platform(n_ranks=6, n_nodes=2)
+    # pre-populate the file: 6 KiB, rank r owns [r*1024, (r+1)*1024)
+    file_bytes = np.arange(6 * KIB, dtype=np.int64) % 251
+    pfs.datastore.write(0, file_bytes.astype(np.uint8))
+
+    engine = TwoPhaseCollectiveIO(comm, pfs, TwoPhaseConfig(cb_buffer_size=4 * KIB))
+
+    def reader(ctx):
+        from repro import contiguous_view
+
+        pattern = contiguous_view(ctx.rank * KIB, KIB)
+        data = yield from engine.read(ctx, pattern)
+        return data
+
+    results = comm.run_spmd(reader)
+    stats = engine.history[0]
+    print(f"I/O phase + communication phase completed at t={stats.elapsed * 1e3:.2f} ms")
+    print(f"aggregators (one per node): ranks {stats.aggregator_ranks}")
+    print(
+        f"shuffle: {stats.shuffle_intra_node_bytes} B intra-node, "
+        f"{stats.shuffle_inter_node_bytes} B inter-node"
+    )
+    ok = all(
+        (results[r] == file_bytes[r * KIB : (r + 1) * KIB].astype(np.uint8)).all()
+        for r in range(6)
+    )
+    print(f"every rank received its bytes: {'OK' if ok else 'CORRUPT'}")
+    assert ok
+
+
+def interleaved_roundtrip():
+    """Collective write + read of interleaved rank data, verified."""
+    print()
+    print("=" * 72)
+    print("Interleaved collective write/read round trip, 12 ranks")
+    print("=" * 72)
+    env, cluster, comm, pfs = build_platform()
+    engine = TwoPhaseCollectiveIO(comm, pfs, TwoPhaseConfig(cb_buffer_size=4 * KIB))
+    n = comm.size
+    block = 512
+    payloads = {
+        r: ((np.arange(block * 4) * 31 + r * 97) % 251).astype(np.uint8)
+        for r in range(n)
+    }
+
+    def pattern_of(rank):
+        # rank r owns block k at (k*n + r) * block -- an IOR interleave
+        return vector_view(offset=rank * block, count=4, block=block,
+                           stride=n * block)
+
+    def writer(ctx):
+        yield from engine.write(ctx, pattern_of(ctx.rank),
+                                payloads[ctx.rank].copy())
+
+    comm.run_spmd(writer)
+
+    # verify directly against the file: block k of rank r
+    for r in range(n):
+        for k in range(4):
+            offset = (k * n + r) * block
+            expected = payloads[r][k * block : (k + 1) * block]
+            assert (pfs.datastore.read(offset, block) == expected).all()
+    print("file contents verified block-by-block: OK")
+
+    def reader(ctx):
+        return (yield from engine.read(ctx, pattern_of(ctx.rank)))
+
+    results = comm.run_spmd(reader)
+    assert all((results[r] == payloads[r]).all() for r in range(n))
+    print("collective read round trip verified: OK")
+    for stats in engine.history:
+        print(f"  {stats.summary()}")
+
+
+def strategy_comparison():
+    """Two-phase vs memory-conscious under heterogeneous memory."""
+    print()
+    print("=" * 72)
+    print("Strategy comparison under memory pressure (one node starved)")
+    print("=" * 72)
+    results = {}
+    for strategy in ("two-phase", "mcio"):
+        # fast storage + swap-like paging so memory placement is what
+        # differentiates the strategies
+        env, cluster, comm, pfs = build_platform(
+            server_bandwidth=1e9, paging_penalty=32.0
+        )
+        # node 0 has almost no free memory; the others are fine
+        cluster.set_memory_availability([256, 48 * KIB, 48 * KIB])
+        if strategy == "two-phase":
+            engine = TwoPhaseCollectiveIO(
+                comm, pfs, TwoPhaseConfig(cb_buffer_size=8 * KIB)
+            )
+        else:
+            engine = MemoryConsciousCollectiveIO(
+                comm, pfs,
+                MCIOConfig(msg_group=1 << 30, msg_ind=8 * KIB, mem_min=0,
+                           nah=2, cb_buffer_size=8 * KIB, min_buffer=256),
+            )
+
+        def writer(ctx):
+            from repro import contiguous_view
+
+            pattern = contiguous_view(ctx.rank * 16 * KIB, 16 * KIB)
+            payload = np.full(16 * KIB, ctx.rank, dtype=np.uint8)
+            yield from engine.write(ctx, pattern, payload)
+
+        comm.run_spmd(writer)
+        results[strategy] = engine.history[0]
+
+    for strategy, stats in results.items():
+        print(
+            f"  {strategy:10s}: {stats.bandwidth_mib:8.2f} MiB/s, "
+            f"{stats.paged_aggregators} paged aggregator(s), "
+            f"aggregators on ranks {stats.aggregator_ranks}"
+        )
+    base, mcio = results["two-phase"], results["mcio"]
+    print(
+        f"  memory-conscious placement avoided the starved node and ran "
+        f"{mcio.bandwidth / base.bandwidth:.2f}x faster"
+    )
+
+
+if __name__ == "__main__":
+    figure2_trace()
+    interleaved_roundtrip()
+    strategy_comparison()

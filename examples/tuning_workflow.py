@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The paper's tuning workflow: measure N_ah, Msg_ind, Mem_min, Msg_group.
+
+MCIO's four parameters are "empirically determined" in the paper (§3):
+
+1. sweep aggregator count x message size on one node until its I/O path
+   saturates  ->  N_ah, Msg_ind;
+2. derive the minimum aggregation memory  ->  Mem_min;
+3. grow the number of aggregating nodes until system-level throughput
+   saturates  ->  Msg_group.
+
+This example runs those measurement campaigns on the simulated testbed,
+prints the sweeps, and then uses the tuned configuration on an IOR
+workload to show it performing sensibly.
+
+Run:  python examples/tuning_workflow.py   (~30 s)
+"""
+
+from repro import MCIOConfig, MemoryConsciousCollectiveIO, ross13_testbed
+from repro.cluster import MIB
+from repro.core.tuning import (
+    measure_node_throughput,
+    measure_system_throughput,
+    tune,
+    tune_node,
+    tune_system,
+)
+from repro.experiments.harness import Platform, run_collective
+from repro.workloads import IORWorkload
+
+
+def show_node_sweep(spec):
+    print("single-node sweep (throughput, GiB/s):")
+    msg_sizes = [1 * MIB, 4 * MIB, 16 * MIB, 64 * MIB]
+    header = "  aggs " + "".join(f"{m // MIB:>9d}MiB" for m in msg_sizes)
+    print(header)
+    for nah in (1, 2, 4, 8):
+        row = f"  {nah:4d} "
+        for msg in msg_sizes:
+            t = measure_node_throughput(spec, nah, msg)
+            row += f"{t / 2**30:12.2f}"
+        print(row)
+
+
+def show_system_sweep(spec, nah, msg_ind):
+    print("\nsystem-level sweep (aggregating nodes -> aggregate GiB/s):")
+    for k in (1, 2, 4, 6, 8):
+        t, std = measure_system_throughput(spec, k, nah, msg_ind)
+        print(f"  {k:2d} nodes: {t / 2**30:6.2f} GiB/s  (finish spread {std * 1e3:.2f} ms)")
+
+
+def main():
+    spec = ross13_testbed(nodes=10)
+    print(f"platform: {spec.name} — NIC {spec.node.nic_bandwidth / 1e9:.1f} GB/s, "
+          f"{spec.storage.servers} servers x "
+          f"{spec.storage.server_bandwidth / 1e6:.0f} MB/s\n")
+
+    show_node_sweep(spec)
+    node = tune_node(spec)
+    print(f"\n=> N_ah = {node.nah}, Msg_ind = {node.msg_ind // MIB} MiB, "
+          f"Mem_min = {node.mem_min // MIB} MiB/aggregator "
+          f"({node.node_mem_min // MIB} MiB/node), "
+          f"node throughput {node.throughput / 2**30:.2f} GiB/s")
+
+    show_system_sweep(spec, node.nah, node.msg_ind)
+    system = tune_system(spec, node.nah, node.msg_ind)
+    print(f"\n=> Msg_group = {system.msg_group // MIB} MiB "
+          f"({system.agg_nodes} aggregating nodes saturate the storage)")
+
+    config = tune(spec, cb_buffer_size=16 * MIB)
+    print(f"\ntuned MCIO config: msg_group={config.msg_group // MIB} MiB, "
+          f"msg_ind={config.msg_ind // MIB} MiB, mem_min={config.mem_min // MIB} MiB, "
+          f"nah={config.nah}")
+
+    # use the tuned configuration on an IOR workload under memory variance
+    from repro import TwoPhaseCollectiveIO, TwoPhaseConfig
+
+    workload = IORWorkload(n_ranks=120, block_size=1 * MIB, segments=4)
+
+    def measure(engine_factory, label):
+        platform = Platform.build(spec, workload.n_ranks, seed=1)
+        platform.cluster.sample_memory_availability(16 * MIB, 50 * MIB)
+        engine = engine_factory(platform)
+        stats = run_collective(platform, engine, workload.patterns(),
+                               ops=("write",))[0]
+        print(f"  {label}: {stats.summary()}")
+        return stats
+
+    print(f"\n{workload.description} under availability ~ N(16 MiB, 50 MiB):")
+    base = measure(
+        lambda p: TwoPhaseCollectiveIO(
+            p.comm, p.pfs, TwoPhaseConfig(cb_buffer_size=16 * MIB)
+        ),
+        "two-phase baseline",
+    )
+    mcio = measure(
+        lambda p: MemoryConsciousCollectiveIO(p.comm, p.pfs, config),
+        "tuned MCIO        ",
+    )
+    print(f"  tuned MCIO is {mcio.bandwidth / base.bandwidth:.2f}x the baseline")
+    # Note: the paper tunes on a healthy system and remarks that optimal
+    # values "correlate with the I/O pattern of a particular application";
+    # under heavy memory variance the figure experiments use larger
+    # msg_group / N_ah than this healthy-node tuning suggests.
+
+
+if __name__ == "__main__":
+    main()

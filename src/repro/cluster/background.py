@@ -1,0 +1,113 @@
+"""Time-varying background memory load.
+
+The paper's memory-variance environment is static per run; on a real
+shared machine the application's own phases and co-located services move
+each node's available memory *between* collective calls.  MCIO replans at
+every collective from the live availability snapshot, so a dynamic
+environment is where run-time aggregator determination earns its keep.
+
+:class:`BackgroundLoad` is a simulation process that updates every node's
+available memory on a fixed period with a seeded mean-reverting random
+walk (discrete Ornstein-Uhlenbeck): each node wanders around its own mean
+with configurable volatility, clipped to ``[floor, capacity]``.
+Deterministic given ``(rng, period)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim import Environment, Process
+
+from .cluster import Cluster
+
+__all__ = ["BackgroundLoad"]
+
+
+class BackgroundLoad:
+    """Mean-reverting background memory churn on every node.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose nodes' availability is driven.
+    mean_bytes:
+        Long-run mean available memory per node (scalar or per-node array).
+    sigma_bytes:
+        Innovation scale per update step.
+    reversion:
+        Pull toward the mean per step, in (0, 1]; 1 = i.i.d. redraws,
+        small values = slow drift.
+    period:
+        Simulated seconds between updates.
+    floor_bytes:
+        Lower clip for availability.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        mean_bytes: float | np.ndarray,
+        sigma_bytes: float,
+        reversion: float = 0.3,
+        period: float = 0.05,
+        floor_bytes: float = 1 << 20,
+    ):
+        if sigma_bytes < 0:
+            raise ValueError("sigma_bytes must be >= 0")
+        if not 0 < reversion <= 1:
+            raise ValueError("reversion must be in (0, 1]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.cluster = cluster
+        n = len(cluster.nodes)
+        self.mean = np.broadcast_to(np.asarray(mean_bytes, dtype=float), (n,)).copy()
+        self.sigma = float(sigma_bytes)
+        self.reversion = float(reversion)
+        self.period = float(period)
+        self.floor = float(floor_bytes)
+        self._gen = cluster.rng.stream("background-load")
+        self._level = self.mean.copy()
+        self.updates = 0
+        self._proc: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    def step(self) -> np.ndarray:
+        """Advance one update: perturb and apply availability to the nodes."""
+        noise = self._gen.normal(0.0, self.sigma, size=len(self._level))
+        self._level = self._level + self.reversion * (self.mean - self._level) + noise
+        capacity = np.array(
+            [node.memory.capacity for node in self.cluster.nodes], dtype=float
+        )
+        clipped = np.clip(self._level, self.floor, capacity)
+        self.cluster.set_memory_availability(clipped.astype(np.int64))
+        self.updates += 1
+        return clipped
+
+    def _run(self, env: Environment):
+        from repro.sim import Interrupt
+
+        try:
+            while True:
+                yield env.timeout(self.period)
+                self.step()
+        except Interrupt:
+            return
+
+    def start(self) -> Process:
+        """Launch the churn process (runs until the simulation ends)."""
+        if self._proc is not None and self._proc.is_alive:
+            raise RuntimeError("background load already running")
+        self.step()  # apply the initial landscape
+        self._proc = self.cluster.env.process(
+            self._run(self.cluster.env), name="background-load"
+        )
+        return self._proc
+
+    def stop(self) -> None:
+        """Interrupt the churn process."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+            self._proc = None

@@ -1,0 +1,291 @@
+"""Hardware specifications for simulated clusters.
+
+Includes the paper's two reference designs:
+
+* :func:`ross13_testbed` — the evaluation platform of the paper (640-node
+  Linux cluster, two 6-core Xeons and 24 GB per node, DDR InfiniBand,
+  Lustre over DDN storage);
+* :func:`petascale_2010` / :func:`exascale_2018` — the two columns of the
+  paper's Table 1 ("Potential exascale computer design and its relationship
+  to current HPC designs", after Vetter et al.), exposed both as cluster
+  specs and as the raw table for the Table 1 experiment.
+
+Units: bytes and bytes/second throughout; seconds for latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "NodeSpec",
+    "StorageSpec",
+    "ClusterSpec",
+    "ross13_testbed",
+    "petascale_2010",
+    "exascale_2018",
+    "TABLE1_ROWS",
+    "memory_per_core_factor",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one compute node.
+
+    Parameters
+    ----------
+    cores:
+        Cores (and therefore maximum MPI ranks) per node.
+    memory_bytes:
+        Physical memory capacity.
+    memory_bandwidth:
+        Aggregate off-chip memory bandwidth in bytes/second.
+    memory_channels:
+        Number of concurrently usable memory channels; each channel provides
+        ``memory_bandwidth / memory_channels`` of bandwidth.  Contention for
+        channels is how the simulator models off-chip bandwidth pressure.
+    nic_bandwidth:
+        Injection bandwidth of the node's network interface, bytes/second.
+    nic_latency:
+        One-way small-message latency in seconds.
+    """
+
+    cores: int = 12
+    memory_bytes: int = 24 * GIB
+    memory_bandwidth: float = 25e9
+    memory_channels: int = 4
+    nic_bandwidth: float = 1.5e9
+    nic_latency: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"cores must be >= 1, got {self.cores}")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.memory_bandwidth <= 0 or self.nic_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.memory_channels < 1:
+            raise ValueError("memory_channels must be >= 1")
+        if self.nic_latency < 0:
+            raise ValueError("nic_latency must be >= 0")
+
+    @property
+    def memory_per_core(self) -> float:
+        """Bytes of memory per core — the quantity Table 1 shows collapsing."""
+        return self.memory_bytes / self.cores
+
+    @property
+    def bandwidth_per_core(self) -> float:
+        """Off-chip bytes/second per core."""
+        return self.memory_bandwidth / self.cores
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Parallel-file-system hardware description.
+
+    Parameters
+    ----------
+    servers:
+        Number of I/O servers (Lustre OSTs).
+    server_bandwidth:
+        Streaming bandwidth of one server, bytes/second.
+    request_overhead:
+        Fixed per-request service cost in seconds (seek + RPC + metadata);
+        this is what makes many small requests slower than one large one.
+    stripe_size:
+        Round-robin striping unit in bytes (paper: 1 MB).
+    write_bandwidth_factor:
+        Write bandwidth as a fraction of read bandwidth (RAID parity and
+        journaling make storage writes slower; the paper's read bandwidth
+        consistently exceeds its write bandwidth).
+    """
+
+    servers: int = 16
+    server_bandwidth: float = 500e6
+    request_overhead: float = 0.5e-3
+    stripe_size: int = 1 * MIB
+    write_bandwidth_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.servers < 1:
+            raise ValueError("servers must be >= 1")
+        if self.server_bandwidth <= 0:
+            raise ValueError("server_bandwidth must be positive")
+        if self.request_overhead < 0:
+            raise ValueError("request_overhead must be >= 0")
+        if self.stripe_size < 1:
+            raise ValueError("stripe_size must be >= 1")
+        if not 0 < self.write_bandwidth_factor <= 1:
+            raise ValueError("write_bandwidth_factor must be in (0, 1]")
+
+    @property
+    def aggregate_bandwidth(self) -> float:
+        """Peak file-system bandwidth with all servers streaming."""
+        return self.servers * self.server_bandwidth
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Full description of a simulated platform."""
+
+    nodes: int = 10
+    node: NodeSpec = field(default_factory=NodeSpec)
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    #: Multiplier on memory-copy time for allocations beyond a node's
+    #: available memory (models paging/thrashing).
+    paging_penalty: float = 4.0
+    #: Optional two-level topology: nodes per rack (None = full bisection).
+    rack_size: Optional[int] = None
+    #: Rack uplink bandwidth, bytes/second (required with rack_size).
+    uplink_bandwidth: Optional[float] = None
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.paging_penalty < 1.0:
+            raise ValueError("paging_penalty must be >= 1.0")
+        if (self.rack_size is None) != (self.uplink_bandwidth is None):
+            raise ValueError("rack_size and uplink_bandwidth go together")
+        if self.rack_size is not None and self.rack_size < 1:
+            raise ValueError("rack_size must be >= 1")
+        if self.uplink_bandwidth is not None and self.uplink_bandwidth <= 0:
+            raise ValueError("uplink_bandwidth must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        """Total concurrency of the platform."""
+        return self.nodes * self.node.cores
+
+    @property
+    def total_memory(self) -> int:
+        """System memory in bytes."""
+        return self.nodes * self.node.memory_bytes
+
+    def with_nodes(self, nodes: int) -> "ClusterSpec":
+        """Return a copy scaled to `nodes` nodes."""
+        return replace(self, nodes=nodes)
+
+
+def ross13_testbed(nodes: int = 10) -> ClusterSpec:
+    """The paper's evaluation platform, scaled to `nodes` nodes.
+
+    640-node cluster; 2 × Intel Xeon 2.8 GHz 6-core and 24 GB per node; DDR
+    InfiniBand (~1.5 GB/s effective per port); Lustre with 1 MB round-robin
+    stripes on DDN storage.  The paper's runs use 120 and 1080 processes,
+    i.e. 10 and 90 nodes of the machine — pass `nodes` accordingly.
+
+    Calibration notes: the per-request overhead (3 ms) reflects Lustre
+    RPC + extent-lock costs for uncached data, which is what degrades
+    small collective-buffer rounds; the paging penalty (16x) reflects
+    swap-device versus memory-channel bandwidth on the 2012-era nodes.
+    """
+    return ClusterSpec(
+        nodes=nodes,
+        node=NodeSpec(
+            cores=12,
+            memory_bytes=24 * GIB,
+            memory_bandwidth=25e9,
+            memory_channels=4,
+            nic_bandwidth=1.5e9,
+            nic_latency=1.5e-6,
+        ),
+        storage=StorageSpec(
+            servers=16,
+            server_bandwidth=500e6,
+            request_overhead=3e-3,
+            stripe_size=1 * MIB,
+            write_bandwidth_factor=0.8,
+        ),
+        paging_penalty=16.0,
+        name=f"ross13-testbed-{nodes}n",
+    )
+
+
+def petascale_2010() -> ClusterSpec:
+    """The 2010 column of Table 1 (2 Pf/s-class system)."""
+    return ClusterSpec(
+        nodes=20_000,
+        node=NodeSpec(
+            cores=12,
+            memory_bytes=int(0.3e15 / 20_000),  # 0.3 PB system memory
+            memory_bandwidth=25e9,
+            memory_channels=4,
+            nic_bandwidth=1.5e9,
+        ),
+        storage=StorageSpec(
+            servers=128,
+            server_bandwidth=0.2e12 / 128,  # 0.2 TB/s aggregate
+            stripe_size=1 * MIB,
+        ),
+        name="petascale-2010",
+    )
+
+
+def exascale_2018() -> ClusterSpec:
+    """The 2018 (projected exascale) column of Table 1.
+
+    1 M nodes, O(1000) cores per node, 10 PB system memory — which is how
+    memory per core drops to ~10 MB, the regime the paper targets.
+    """
+    return ClusterSpec(
+        nodes=1_000_000,
+        node=NodeSpec(
+            cores=1000,
+            memory_bytes=int(10e15 / 1_000_000),  # 10 PB system memory
+            memory_bandwidth=400e9,
+            memory_channels=8,
+            nic_bandwidth=50e9,
+        ),
+        storage=StorageSpec(
+            servers=4096,
+            server_bandwidth=20e12 / 4096,  # 20 TB/s aggregate
+            stripe_size=1 * MIB,
+        ),
+        name="exascale-2018",
+    )
+
+
+#: The raw rows of the paper's Table 1: (metric, 2010 value, 2018 value,
+#: factor change).  Values are kept in the paper's own units/strings so the
+#: experiment module can regenerate the table verbatim.
+TABLE1_ROWS: tuple[tuple[str, str, str, float], ...] = (
+    ("System Peak", "2 Pf/s", "1 Ef/s", 500),
+    ("Power", "6 MW", "20 MW", 3),
+    ("System Memory", "0.3 PB", "10 PB", 33),
+    ("Node Performance", "0.125 Tf/s", "10 Tf/s", 80),
+    ("Node Memory BW", "25 GB/s", "400 GB/s", 16),
+    ("Node Concurrency", "12 CPUs", "1000 CPUs", 83),
+    ("Interconnect BW", "1.5 GB/s", "50 GB/s", 33),
+    ("System Size (nodes)", "20 K nodes", "1 M nodes", 50),
+    ("Total concurrency", "225 K", "1 B", 4444),
+    ("Storage", "15 PB", "300 PB", 20),
+    ("I/O Bandwidth", "0.2 TB/s", "20 TB/s", 100),
+)
+
+
+def memory_per_core_factor(
+    memory_factor: float, system_size_factor: float, node_concurrency_factor: float
+) -> float:
+    """The paper's memory-per-core scaling formula ``M / (SZ * NC)``.
+
+    The quotient of the factor change of system memory and system size,
+    divided by the factor change of node concurrency.  For Table 1's numbers
+    this evaluates to well below 1, i.e. memory per core *shrinks* while
+    total concurrency explodes.
+    """
+    if system_size_factor <= 0 or node_concurrency_factor <= 0:
+        raise ValueError("factors must be positive")
+    return memory_factor / (system_size_factor * node_concurrency_factor)

@@ -1,0 +1,55 @@
+"""The paper's contribution: collective-I/O strategies and their pieces.
+
+Public surface:
+
+* :class:`~repro.core.two_phase.TwoPhaseCollectiveIO` — the ROMIO-style
+  baseline;
+* :class:`~repro.core.mcio.MemoryConsciousCollectiveIO` — the paper's
+  memory-conscious strategy;
+* :class:`~repro.core.independent.IndependentIO` /
+  :class:`~repro.core.independent.DataSievingIO` — non-collective
+  comparison points;
+* the planning building blocks (extent algebra, group division, partition
+  tree, aggregator placement) for users who want to compose their own
+  strategy.
+"""
+
+from .aggregator_selection import PlacementError, candidate_hosts, place_aggregators
+from .config import MCIOConfig, TwoPhaseConfig
+from .engine import ExecutionPlan, execute_collective
+from .filedomain import FileDomain, even_domains, rounds_for
+from .group_division import AggregationGroup, divide_groups
+from .independent import DataSievingIO, IndependentIO
+from .mcio import MemoryConsciousCollectiveIO
+from .metrics import CollectiveStats, StatsCollector
+from .partition_tree import PartitionNode, PartitionTree
+from .request import AccessPattern, Extent, StridedSegment, coalesce_extents
+from .two_phase import TwoPhaseCollectiveIO, default_aggregators
+
+__all__ = [
+    "AccessPattern",
+    "AggregationGroup",
+    "CollectiveStats",
+    "DataSievingIO",
+    "ExecutionPlan",
+    "Extent",
+    "FileDomain",
+    "IndependentIO",
+    "MCIOConfig",
+    "MemoryConsciousCollectiveIO",
+    "PartitionNode",
+    "PartitionTree",
+    "PlacementError",
+    "StatsCollector",
+    "StridedSegment",
+    "TwoPhaseCollectiveIO",
+    "TwoPhaseConfig",
+    "candidate_hosts",
+    "coalesce_extents",
+    "default_aggregators",
+    "divide_groups",
+    "even_domains",
+    "execute_collective",
+    "place_aggregators",
+    "rounds_for",
+]

@@ -1,0 +1,138 @@
+"""Configuration dataclasses for the collective-I/O engines.
+
+Two engines, two configs:
+
+* :class:`TwoPhaseConfig` — ROMIO-style baseline: fixed aggregator set
+  (one process per node by default), even file-domain split, fixed
+  collective-buffer size, memory-oblivious.
+* :class:`MCIOConfig` — memory-conscious collective I/O: the paper's four
+  tuning parameters (``msg_group``, ``msg_ind``, ``mem_min``, ``nah``)
+  plus the same nominal buffer size the evaluation sweeps.
+
+``shuffle_granularity`` trades simulation fidelity for event count:
+``"round"`` sends one shuffle message per (rank, aggregator, round) like
+the real protocol; ``"domain"`` batches a rank's traffic to an aggregator
+into one message per file domain and charges the extra per-round latency
+analytically — required to simulate 1000+ rank runs in reasonable time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.cluster.spec import MIB
+
+__all__ = ["TwoPhaseConfig", "MCIOConfig", "ShuffleGranularity"]
+
+ShuffleGranularity = Literal["round", "domain"]
+
+
+def _check_common(cb_buffer_size: int, shuffle_granularity: str) -> None:
+    if cb_buffer_size < 1:
+        raise ValueError("cb_buffer_size must be >= 1")
+    if shuffle_granularity not in ("round", "domain"):
+        raise ValueError(f"bad shuffle_granularity {shuffle_granularity!r}")
+
+
+@dataclass(frozen=True)
+class TwoPhaseConfig:
+    """ROMIO two-phase collective I/O parameters.
+
+    Parameters
+    ----------
+    cb_buffer_size:
+        Collective (aggregation) buffer per aggregator, bytes.  ROMIO
+        default is 16 MB; the paper sweeps 2-128 MB.
+    cb_nodes:
+        Number of aggregators; ``None`` = ROMIO default of exactly one
+        process per node.
+    stripe_align:
+        Align file-domain boundaries down to stripe boundaries, avoiding
+        two aggregators splitting one stripe (lock contention in Lustre).
+    shuffle_granularity:
+        See module docstring.
+    """
+
+    cb_buffer_size: int = 16 * MIB
+    cb_nodes: Optional[int] = None
+    stripe_align: bool = True
+    shuffle_granularity: ShuffleGranularity = "round"
+
+    def __post_init__(self) -> None:
+        _check_common(self.cb_buffer_size, self.shuffle_granularity)
+        if self.cb_nodes is not None and self.cb_nodes < 1:
+            raise ValueError("cb_nodes must be >= 1")
+
+
+@dataclass(frozen=True)
+class MCIOConfig:
+    """Memory-conscious collective I/O parameters (paper §3).
+
+    Parameters
+    ----------
+    msg_group:
+        Optimal aggregation-group message size: target bytes of file
+        region per aggregation group (``Msg_group``).
+    msg_ind:
+        Optimal per-aggregator message size: the partition tree bisects a
+        group's file region until each leaf carries at most this many
+        requested bytes (``Msg_ind``).
+    mem_min:
+        Minimum memory a host must have available to serve as an
+        aggregator host at full performance (``Mem_min``).
+    nah:
+        Maximum aggregators hosted by one physical node (``N_ah``).
+    cb_buffer_size:
+        Nominal aggregation buffer per aggregator, bytes — the quantity
+        the paper's evaluation sweeps.  The effective buffer of a domain
+        is ``min(cb_buffer_size, domain bytes)``.
+    stripe_align:
+        Align bisection cuts to stripe boundaries.
+    allow_paged_fallback:
+        If no host in a group can satisfy the memory requirement even
+        after remerging, place the aggregator on the best host anyway
+        (marked paged).  If False, raise instead.
+    memory_oblivious:
+        Ablation switch: plan as if every node had its full physical
+        memory available (disables the memory-aware part of aggregator
+        location while keeping group division and the partition tree).
+    adaptive_buffer:
+        When even the best candidate host cannot supply the full nominal
+        buffer, shrink the aggregation buffer to what the host has
+        (paying extra rounds instead of paging).  This is the
+        memory-conscious behaviour for workloads whose aggregation group
+        lives on a single node, where relocation is impossible.
+    min_buffer:
+        Smallest buffer the adaptive path accepts; below this the domain
+        is remerged (or placed paged as a last resort).
+    shuffle_granularity:
+        See module docstring.
+    """
+
+    msg_group: int = 256 * MIB
+    msg_ind: int = 32 * MIB
+    mem_min: int = 32 * MIB
+    nah: int = 2
+    cb_buffer_size: int = 16 * MIB
+    stripe_align: bool = True
+    allow_paged_fallback: bool = True
+    memory_oblivious: bool = False
+    adaptive_buffer: bool = True
+    min_buffer: int = 1 * MIB
+    shuffle_granularity: ShuffleGranularity = "round"
+
+    def __post_init__(self) -> None:
+        _check_common(self.cb_buffer_size, self.shuffle_granularity)
+        if self.msg_group < 1:
+            raise ValueError("msg_group must be >= 1")
+        if self.msg_ind < 1:
+            raise ValueError("msg_ind must be >= 1")
+        if self.msg_ind > self.msg_group:
+            raise ValueError("msg_ind cannot exceed msg_group")
+        if self.mem_min < 0:
+            raise ValueError("mem_min must be >= 0")
+        if self.nah < 1:
+            raise ValueError("nah must be >= 1")
+        if self.min_buffer < 1:
+            raise ValueError("min_buffer must be >= 1")

@@ -1,0 +1,246 @@
+"""Memory-Conscious Collective I/O — the paper's contribution (§3).
+
+The planning pipeline mirrors Figure 3's four components:
+
+1. **Aggregation Group Division** (:mod:`repro.core.group_division`) —
+   the workload splits into disjoint groups; shuffle traffic stays inside
+   a group.
+2. **I/O Workload Partition** (:mod:`repro.core.partition_tree`) — each
+   group's region is recursively bisected into file domains carrying at
+   most ``Msg_ind`` requested bytes.
+3. **Workload Portions Remerging** — domains whose hosts lack memory are
+   merged with their neighbours (driven from inside the placer).
+4. **Aggregators Location** (:mod:`repro.core.aggregator_selection`) —
+   per domain, the candidate host with maximum available memory wins,
+   subject to ``N_ah`` and ``Mem_min``.
+
+Planning inputs that differ from the baseline: each rank contributes its
+node's *available memory* to an allgather, so the plan reacts to the
+run-time memory state — "determines I/O aggregators at run time
+considering memory consumption and variance among processes".
+
+Execution is the shared machinery in :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.aggregator_selection import place_aggregators
+from repro.core.config import MCIOConfig
+from repro.core.engine import ExecutionPlan, execute_collective
+from repro.core.group_division import divide_groups
+from repro.core.metrics import CollectiveStats, StatsCollector
+from repro.core.partition_tree import PartitionTree
+from repro.core.request import AccessPattern
+from repro.mpi.comm import RankContext, SimComm
+from repro.pfs.filesystem import ParallelFileSystem
+
+__all__ = ["MemoryConsciousCollectiveIO"]
+
+
+def _proportional_rebalance(domains, stripe_size: int = 0):
+    """Re-slice one group's region so domain size tracks buffer size.
+
+    Two-phase execution advances all aggregators in lockstep
+    (ROMIO's ``ntimes = max rounds``), so a memory-starved aggregator
+    with a small buffer and a big domain stalls everyone in a long tail.
+    Giving each aggregator file span proportional to its aggregation
+    buffer (paged buffers discounted by the paging slowdown) equalizes
+    per-domain round counts — the memory-conscious counterpart of
+    ROMIO's even split.
+
+    `domains` must be one group's domains in file order (they tile the
+    group's region); aggregator assignments, buffers, and paged flags are
+    preserved.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.request import Extent
+
+    if len(domains) <= 1:
+        return list(domains)
+    lo = domains[0].extent.offset
+    hi = domains[-1].extent.end
+    span = hi - lo
+    weights = [
+        d.buffer_bytes * (0.25 if d.paged else 1.0) for d in domains
+    ]
+    total_weight = sum(weights)
+    out = []
+    pos = lo
+    acc = 0.0
+    for i, d in enumerate(domains):
+        acc += weights[i]
+        if i == len(domains) - 1:
+            end = hi
+        else:
+            end = lo + int(span * acc / total_weight)
+            if stripe_size > 1:
+                end = (end // stripe_size) * stripe_size
+            end = min(max(end, pos + 1), hi - (len(domains) - 1 - i))
+        out.append(_replace(d, extent=Extent(pos, end - pos)))
+        pos = end
+    return out
+
+
+class MemoryConsciousCollectiveIO:
+    """The memory-conscious collective I/O strategy.
+
+    Usage is identical to
+    :class:`~repro.core.two_phase.TwoPhaseCollectiveIO`; only planning
+    differs.
+    """
+
+    name = "mcio"
+
+    def __init__(
+        self,
+        comm: SimComm,
+        pfs: ParallelFileSystem,
+        config: Optional[MCIOConfig] = None,
+    ):
+        self.comm = comm
+        self.pfs = pfs
+        self.config = config if config is not None else MCIOConfig()
+        self._rank_seq: dict[int, int] = {}
+        self._plans: dict[int, ExecutionPlan] = {}
+        self._stats: dict[int, StatsCollector] = {}
+        #: Finalized stats of completed operations, in call order.
+        self.history: list[CollectiveStats] = []
+
+    # ------------------------------------------------------------------
+    def write(self, ctx: RankContext, pattern: AccessPattern,
+              payload: Optional[np.ndarray] = None):
+        """Process generator: collective write of this rank's view."""
+        return (yield from self._collective(ctx, pattern, payload, "write"))
+
+    def read(self, ctx: RankContext, pattern: AccessPattern,
+             payload: Optional[np.ndarray] = None):
+        """Process generator: collective read; fills and returns `payload`."""
+        if payload is None and self.pfs.datastore is not None:
+            payload = np.zeros(pattern.nbytes, dtype=np.uint8)
+        return (yield from self._collective(ctx, pattern, payload, "read"))
+
+    # ------------------------------------------------------------------
+    def _next_seq(self, rank: int) -> int:
+        seq = self._rank_seq.get(rank, 0)
+        self._rank_seq[rank] = seq + 1
+        return seq
+
+    def _collective(self, ctx, pattern, payload, op):
+        if payload is not None and len(payload) != pattern.nbytes:
+            raise ValueError(
+                f"payload {len(payload)} B != pattern {pattern.nbytes} B"
+            )
+        seq = self._next_seq(ctx.rank)
+        meta_bytes = 32 * (1 + pattern.segment_count)
+        patterns = yield from self.comm.allgather(ctx, pattern, nbytes=meta_bytes)
+        # run-time memory snapshot: each rank reports its node's available
+        # memory net of current commitments
+        mem_pairs = yield from self.comm.allgather(
+            ctx,
+            (ctx.node.node_id, ctx.node.memory.free_available),
+            nbytes=16,
+        )
+        plan, stats = self._prepare(seq, patterns, mem_pairs, op)
+        result = yield from execute_collective(
+            ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
+            payload=payload, granularity=self.config.shuffle_granularity,
+        )
+        self._finish(seq, ctx)
+        return result
+
+    def _prepare(self, seq, patterns, mem_pairs, op):
+        if seq not in self._plans:
+            memory_available = {}
+            for node_id, avail in mem_pairs:
+                memory_available.setdefault(node_id, avail)
+            self._plans[seq] = self.plan(patterns, memory_available)
+            collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
+            collector.n_groups = self._plans[seq].n_groups
+            self._stats[seq] = collector
+        return self._plans[seq], self._stats[seq]
+
+    def _finish(self, seq, ctx):
+        stats = self._stats.get(seq)
+        if stats is None:
+            return
+        stats.extra["finishers"] = stats.extra.get("finishers", 0) + 1
+        if stats.extra["finishers"] == self.comm.size:
+            stats.mark_end(ctx.env.now)
+            self.history.append(stats.finalize())
+            del self._stats[seq]
+            del self._plans[seq]
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        patterns: Sequence[AccessPattern],
+        memory_available: dict[int, int],
+    ) -> ExecutionPlan:
+        """Run the four-component MCIO planning pipeline."""
+        cfg = self.config
+        stripe = self.pfs.layout.stripe_size if cfg.stripe_align else 0
+
+        groups = divide_groups(
+            patterns, self.comm.placement, cfg.msg_group, stripe_size=stripe
+        )
+        if not groups:
+            return ExecutionPlan((), (), n_groups=0)
+
+        # every node must have a memory entry even if no rank reported it
+        for node in self.comm.cluster.nodes:
+            memory_available.setdefault(node.node_id, node.memory.free_available)
+        if cfg.memory_oblivious:
+            # ablation: pretend every host has its full physical memory
+            memory_available = {
+                node.node_id: node.memory.capacity
+                for node in self.comm.cluster.nodes
+            }
+
+        all_domains = []
+        # reservations and the N_ah cap are shared across groups: the
+        # groups' aggregators all coexist during the collective
+        host_state: dict = {}
+        for group in groups:
+            members = group.ranks
+
+            def group_data(lo, hi, _members=members):
+                return sum(patterns[r].bytes_in(lo, hi) for r in _members)
+
+            # Size the partition to the group's feasible aggregator slots:
+            # bisecting far below what memory-qualified hosts can absorb
+            # only produces a remerge cascade whose lopsided survivor
+            # domains stall the lockstep rounds.  A host counts if it can
+            # hold at least half the per-aggregator buffer (the adaptive
+            # path accepts those).
+            requirement = max(cfg.mem_min, min(cfg.cb_buffer_size, cfg.msg_ind))
+            group_nodes = {self.comm.placement[r] for r in members}
+            slots = sum(
+                max(0, cfg.nah - getattr(host_state.get(n), "aggregators", 0))
+                for n in group_nodes
+                if memory_available.get(n, 0) >= max(1, requirement // 2)
+            )
+            group_bytes = group_data(group.region.offset, group.region.end)
+            msg_ind_eff = max(
+                cfg.msg_ind, -(-group_bytes // max(1, slots))
+            )
+
+            tree = PartitionTree(
+                group.region, group_data, msg_ind=msg_ind_eff, stripe_size=stripe
+            )
+            domains = place_aggregators(
+                tree,
+                group.group_id,
+                members,
+                patterns,
+                self.comm.placement,
+                memory_available,
+                cfg,
+                host_state=host_state,
+            )
+            all_domains.extend(_proportional_rebalance(domains, stripe))
+        return ExecutionPlan.build(all_domains, patterns, n_groups=len(groups))

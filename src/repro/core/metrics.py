@@ -1,0 +1,209 @@
+"""Instrumentation for collective-I/O runs.
+
+A :class:`StatsCollector` is threaded through an engine run; after the run
+it folds into a :class:`CollectiveStats` summary carrying exactly the
+quantities the paper argues about:
+
+* end-to-end time and effective bandwidth;
+* per-aggregator buffer memory (peak, mean, variance across aggregators) —
+  the "memory pressure" and "memory variance" claims;
+* paged aggregator count — how often aggregation buffers spilled;
+* shuffle traffic split intra-node / inter-node / inter-group — MCIO's
+  invariant is zero inter-group bytes;
+* round and request counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["StatsCollector", "CollectiveStats"]
+
+
+@dataclass
+class CollectiveStats:
+    """Summary of one collective read or write operation."""
+
+    strategy: str
+    op: str
+    total_bytes: int
+    elapsed: float
+    n_ranks: int
+    n_aggregators: int
+    aggregator_ranks: tuple[int, ...]
+    #: peak aggregation-buffer bytes per aggregator rank
+    agg_buffer_bytes: dict[int, int]
+    #: bytes by which each aggregator's host memory was overcommitted at
+    #: buffer-allocation time (0 for healthy placements)
+    agg_overcommit_bytes: dict[int, int]
+    paged_aggregators: int
+    rounds_total: int
+    shuffle_intra_node_bytes: int
+    shuffle_inter_node_bytes: int
+    shuffle_inter_group_bytes: int
+    n_groups: int = 1
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective bytes/second of the collective operation."""
+        return self.total_bytes / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def bandwidth_mib(self) -> float:
+        """Effective MiB/second (the unit the paper's figures use)."""
+        return self.bandwidth / (1024.0**2)
+
+    @property
+    def agg_memory_mean(self) -> float:
+        """Mean aggregation-buffer bytes across aggregators."""
+        if not self.agg_buffer_bytes:
+            return 0.0
+        return float(np.mean(list(self.agg_buffer_bytes.values())))
+
+    @property
+    def agg_memory_std(self) -> float:
+        """Std-dev of aggregation-buffer bytes across aggregators.
+
+        The paper's "variance among processes" claim: MCIO should show a
+        smaller spread than the baseline under heterogeneous memory.
+        """
+        if not self.agg_buffer_bytes:
+            return 0.0
+        return float(np.std(list(self.agg_buffer_bytes.values())))
+
+    @property
+    def agg_memory_peak(self) -> int:
+        """Largest aggregation buffer any aggregator held."""
+        if not self.agg_buffer_bytes:
+            return 0
+        return max(self.agg_buffer_bytes.values())
+
+    @property
+    def overcommit_mean(self) -> float:
+        """Mean host-memory overcommit across aggregators (bytes).
+
+        This is the paper's "memory pressure": how far aggregation
+        buffers spilled past what their hosts actually had.
+        """
+        if not self.agg_overcommit_bytes:
+            return 0.0
+        return float(np.mean(list(self.agg_overcommit_bytes.values())))
+
+    @property
+    def overcommit_std(self) -> float:
+        """Spread of host-memory overcommit across aggregators.
+
+        The paper's "variance among processes" claim: memory-conscious
+        placement should flatten this to ~zero.
+        """
+        if not self.agg_overcommit_bytes:
+            return 0.0
+        return float(np.std(list(self.agg_overcommit_bytes.values())))
+
+    @property
+    def overcommit_peak(self) -> int:
+        """Worst single-aggregator overcommit (bytes)."""
+        if not self.agg_overcommit_bytes:
+            return 0
+        return max(self.agg_overcommit_bytes.values())
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.strategy} {self.op}: {self.bandwidth_mib:8.1f} MiB/s  "
+            f"({self.total_bytes / 1024 / 1024:.0f} MiB in {self.elapsed:.3f} s, "
+            f"{self.n_aggregators} aggs, {self.paged_aggregators} paged, "
+            f"{self.rounds_total} rounds)"
+        )
+
+
+class StatsCollector:
+    """Mutable accumulator shared by all rank processes during one run."""
+
+    def __init__(self, strategy: str, op: str, n_ranks: int):
+        self.strategy = strategy
+        self.op = op
+        self.n_ranks = n_ranks
+        self.total_bytes = 0
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.agg_buffer_bytes: dict[int, int] = {}
+        self.agg_overcommit_bytes: dict[int, int] = {}
+        self.paged_aggregators: set[int] = set()
+        self.rounds_total = 0
+        self.shuffle_intra_node_bytes = 0
+        self.shuffle_inter_node_bytes = 0
+        self.shuffle_inter_group_bytes = 0
+        self.n_groups = 1
+        self.extra: dict = {}
+
+    # ------------------------------------------------------------------
+    def mark_start(self, now: float) -> None:
+        """Record the earliest entry time across ranks."""
+        if self.start_time is None or now < self.start_time:
+            self.start_time = now
+
+    def mark_end(self, now: float) -> None:
+        """Record the latest exit time across ranks."""
+        if self.end_time is None or now > self.end_time:
+            self.end_time = now
+
+    def record_aggregator(
+        self, rank: int, buffer_bytes: int, paged: bool, overcommit_bytes: int = 0
+    ) -> None:
+        """Register an aggregator's buffer commitment."""
+        self.agg_buffer_bytes[rank] = max(
+            self.agg_buffer_bytes.get(rank, 0), buffer_bytes
+        )
+        self.agg_overcommit_bytes[rank] = max(
+            self.agg_overcommit_bytes.get(rank, 0), int(overcommit_bytes)
+        )
+        if paged:
+            self.paged_aggregators.add(rank)
+
+    def record_shuffle(
+        self, nbytes: int, same_node: bool, same_group: bool = True
+    ) -> None:
+        """Account one shuffle message."""
+        if same_node:
+            self.shuffle_intra_node_bytes += nbytes
+        else:
+            self.shuffle_inter_node_bytes += nbytes
+        if not same_group:
+            self.shuffle_inter_group_bytes += nbytes
+
+    def record_rounds(self, rounds: int) -> None:
+        """Add an aggregator's executed round count."""
+        self.rounds_total += rounds
+
+    def record_bytes(self, nbytes: int) -> None:
+        """Add bytes moved to/from the file system."""
+        self.total_bytes += nbytes
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> CollectiveStats:
+        """Fold into an immutable summary."""
+        if self.start_time is None or self.end_time is None:
+            raise RuntimeError("run was never marked started/ended")
+        return CollectiveStats(
+            strategy=self.strategy,
+            op=self.op,
+            total_bytes=self.total_bytes,
+            elapsed=self.end_time - self.start_time,
+            n_ranks=self.n_ranks,
+            n_aggregators=len(self.agg_buffer_bytes),
+            aggregator_ranks=tuple(sorted(self.agg_buffer_bytes)),
+            agg_buffer_bytes=dict(self.agg_buffer_bytes),
+            agg_overcommit_bytes=dict(self.agg_overcommit_bytes),
+            paged_aggregators=len(self.paged_aggregators),
+            rounds_total=self.rounds_total,
+            shuffle_intra_node_bytes=self.shuffle_intra_node_bytes,
+            shuffle_inter_node_bytes=self.shuffle_inter_node_bytes,
+            shuffle_inter_group_bytes=self.shuffle_inter_group_bytes,
+            n_groups=self.n_groups,
+            extra=dict(self.extra),
+        )

@@ -1,0 +1,214 @@
+"""Empirical determination of MCIO's tuning parameters (paper §3).
+
+The paper measures, on the target platform:
+
+1. "the optimal number of aggregators ``N_ah`` and message size
+   ``Msg_ind`` per aggregator that can fully utilize the I/O bandwidth in
+   one physical compute node" — :func:`tune_node`;
+2. "the minimum memory consumption ``Mem_min`` for one physical node"
+   (each node runs ``N_ah`` aggregators with ``Msg_ind``-sized messages)
+   — derived as ``N_ah x Msg_ind`` per node, ``Msg_ind`` per aggregator;
+3. "the aggregation I/O traffic contention on system level by increasing
+   the number of aggregators across the system network ... to find the
+   optimal group message size ``Msg_group``" — :func:`tune_system`.
+
+Each measurement is a miniature simulation on the same cluster/PFS models
+the experiments use, so the tuned values are consistent with the
+platform they will run on.  :func:`tune` chains all three and emits a
+ready :class:`~repro.core.config.MCIOConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import Cluster, ClusterSpec
+from repro.cluster.spec import MIB
+from repro.core.config import MCIOConfig
+from repro.core.request import Extent
+from repro.pfs import ParallelFileSystem
+from repro.sim import Environment, RngFactory
+
+__all__ = [
+    "NodeTuning",
+    "SystemTuning",
+    "measure_node_throughput",
+    "measure_system_throughput",
+    "tune_node",
+    "tune_system",
+    "tune",
+]
+
+
+@dataclass(frozen=True)
+class NodeTuning:
+    """Result of the single-node sweep."""
+
+    nah: int
+    msg_ind: int
+    throughput: float
+    #: minimum aggregation memory per node (``N_ah x Msg_ind``)
+    node_mem_min: int
+
+    @property
+    def mem_min(self) -> int:
+        """Minimum aggregation memory per aggregator (= ``Msg_ind``)."""
+        return self.msg_ind
+
+
+@dataclass(frozen=True)
+class SystemTuning:
+    """Result of the system-level sweep."""
+
+    agg_nodes: int
+    msg_group: int
+    throughput: float
+    #: completion-time spread across aggregators at the chosen point
+    finish_time_std: float
+
+
+def _run_aggregators(
+    spec: ClusterSpec, n_nodes: int, aggs_per_node: int, msg_size: int, rounds: int
+) -> tuple[float, float]:
+    """Simulate aggregators streaming writes; returns (throughput, finish std)."""
+    env = Environment()
+    cluster = Cluster(env, spec.with_nodes(n_nodes), RngFactory(0))
+    pfs = ParallelFileSystem(env, spec.storage)
+    finish: list[float] = []
+
+    def aggregator(node, agg_index):
+        base = (node.node_id * aggs_per_node + agg_index) * rounds
+        for r in range(rounds):
+            ext = Extent((base + r) * msg_size, msg_size)
+            yield from pfs.write_extent(node, ext)
+        finish.append(env.now)
+
+    for node in cluster.nodes:
+        for a in range(aggs_per_node):
+            env.process(aggregator(node, a), name=f"agg{node.node_id}.{a}")
+    env.run()
+    total = n_nodes * aggs_per_node * rounds * msg_size
+    elapsed = max(finish)
+    return total / elapsed, float(np.std(finish))
+
+
+def measure_node_throughput(
+    spec: ClusterSpec, n_aggs: int, msg_size: int, rounds: int = 4
+) -> float:
+    """Bytes/second delivered by `n_aggs` aggregators on one node."""
+    if n_aggs < 1 or msg_size < 1 or rounds < 1:
+        raise ValueError("n_aggs, msg_size, rounds must be >= 1")
+    throughput, _ = _run_aggregators(spec, 1, n_aggs, msg_size, rounds)
+    return throughput
+
+
+def measure_system_throughput(
+    spec: ClusterSpec, n_agg_nodes: int, nah: int, msg_ind: int, rounds: int = 2
+) -> tuple[float, float]:
+    """(throughput, finish-time std) with `n_agg_nodes` nodes aggregating."""
+    if n_agg_nodes < 1:
+        raise ValueError("n_agg_nodes must be >= 1")
+    return _run_aggregators(spec, n_agg_nodes, nah, msg_ind, rounds)
+
+
+def tune_node(
+    spec: ClusterSpec,
+    nah_candidates: Optional[Sequence[int]] = None,
+    msg_candidates: Optional[Sequence[int]] = None,
+    threshold: float = 0.95,
+    rounds: int = 4,
+) -> NodeTuning:
+    """Sweep (aggregator count, message size) on one node.
+
+    Picks the *cheapest* configuration — fewest aggregators, then smallest
+    message — whose throughput reaches `threshold` of the best observed,
+    i.e. the point where the node's I/O path saturates.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    if nah_candidates is None:
+        nah_candidates = [1, 2, 4, 8]
+    if msg_candidates is None:
+        msg_candidates = [1 * MIB, 4 * MIB, 16 * MIB, 64 * MIB]
+    results: dict[tuple[int, int], float] = {}
+    for nah in nah_candidates:
+        for msg in msg_candidates:
+            results[(nah, int(msg))] = measure_node_throughput(
+                spec, nah, int(msg), rounds=rounds
+            )
+    best = max(results.values())
+    for nah in sorted(set(nah_candidates)):
+        for msg in sorted(set(int(m) for m in msg_candidates)):
+            if results[(nah, msg)] >= threshold * best:
+                return NodeTuning(
+                    nah=nah,
+                    msg_ind=msg,
+                    throughput=results[(nah, msg)],
+                    node_mem_min=nah * msg,
+                )
+    raise AssertionError("unreachable: best config always passes threshold")
+
+
+def tune_system(
+    spec: ClusterSpec,
+    nah: int,
+    msg_ind: int,
+    max_agg_nodes: Optional[int] = None,
+    threshold: float = 0.9,
+    rounds: int = 2,
+) -> SystemTuning:
+    """Grow the aggregating-node count until system throughput saturates.
+
+    ``Msg_group`` is the data volume that keeps exactly that many
+    aggregator nodes busy: ``agg_nodes x N_ah x Msg_ind``.
+    """
+    if not 0 < threshold <= 1:
+        raise ValueError("threshold must be in (0, 1]")
+    if max_agg_nodes is None:
+        max_agg_nodes = min(spec.nodes, 16)
+    candidates = sorted(
+        {k for k in (1, 2, 3, 4, 6, 8, 12, 16, max_agg_nodes) if 1 <= k <= max_agg_nodes}
+    )
+    measured = [
+        (k, *measure_system_throughput(spec, k, nah, msg_ind, rounds=rounds))
+        for k in candidates
+    ]
+    best = max(t for _, t, _ in measured)
+    for k, throughput, std in measured:
+        if throughput >= threshold * best:
+            return SystemTuning(
+                agg_nodes=k,
+                msg_group=k * nah * msg_ind,
+                throughput=throughput,
+                finish_time_std=std,
+            )
+    raise AssertionError("unreachable: best config always passes threshold")
+
+
+def tune(
+    spec: ClusterSpec,
+    cb_buffer_size: Optional[int] = None,
+    threshold_node: float = 0.95,
+    threshold_system: float = 0.9,
+) -> MCIOConfig:
+    """Run the full tuning pipeline and return a ready MCIO config."""
+    node = tune_node(spec, threshold=threshold_node)
+    system = tune_system(spec, node.nah, node.msg_ind, threshold=threshold_system)
+    # Mem_min is already enforced by the placer's nominal-buffer
+    # requirement; expressing it again as a hard `mem_min` floor would
+    # double-count and push healthy hosts into the remerge path.  The
+    # tuned floor therefore flows into `min_buffer` (the smallest buffer
+    # the adaptive path may grant).
+    return MCIOConfig(
+        msg_group=system.msg_group,
+        msg_ind=node.msg_ind,
+        mem_min=0,
+        nah=node.nah,
+        min_buffer=max(1, node.msg_ind // 4),
+        cb_buffer_size=(
+            cb_buffer_size if cb_buffer_size is not None else node.msg_ind
+        ),
+    )

@@ -1,0 +1,169 @@
+"""Baseline ROMIO-style two-phase collective I/O.
+
+Planning (memory-oblivious, as in ROMIO):
+
+* aggregators: exactly one process per compute node by default
+  (``cb_nodes`` overrides the count);
+* the aggregate file region ``[min offset, max end)`` is split into
+  *even* contiguous file domains, one per aggregator, optionally
+  stripe-aligned;
+* every aggregator uses the same fixed collective buffer
+  (``cb_buffer_size``) regardless of its host's available memory — the
+  memory-pressure failure mode the paper targets.
+
+Execution is the shared two-phase machinery in :mod:`repro.core.engine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import TwoPhaseConfig
+from repro.core.engine import ExecutionPlan, execute_collective
+from repro.core.filedomain import FileDomain, even_domains
+from repro.core.metrics import CollectiveStats, StatsCollector
+from repro.core.request import AccessPattern
+from repro.mpi.comm import RankContext, SimComm
+from repro.pfs.filesystem import ParallelFileSystem
+
+__all__ = ["TwoPhaseCollectiveIO", "default_aggregators"]
+
+
+def default_aggregators(
+    placement: Sequence[int], cb_nodes: Optional[int] = None
+) -> list[int]:
+    """ROMIO's default aggregator choice: one process per node.
+
+    The first rank on each node becomes an aggregator, in node order.
+    ``cb_nodes`` overrides the count: fewer → only the first nodes get
+    aggregators; more → nodes receive extra aggregators round-robin.
+    """
+    first_rank: dict[int, int] = {}
+    node_ranks: dict[int, list[int]] = {}
+    for rank, node in enumerate(placement):
+        node_ranks.setdefault(node, []).append(rank)
+        first_rank.setdefault(node, rank)
+    nodes = sorted(first_rank)
+    count = len(nodes) if cb_nodes is None else cb_nodes
+    if count < 1:
+        raise ValueError("cb_nodes must be >= 1")
+    aggs: list[int] = []
+    i = 0
+    while len(aggs) < count:
+        node = nodes[i % len(nodes)]
+        ranks = node_ranks[node]
+        depth = i // len(nodes)
+        aggs.append(ranks[depth % len(ranks)])
+        i += 1
+    return aggs[:count]
+
+
+class TwoPhaseCollectiveIO:
+    """The normal two-phase collective I/O strategy (the paper's baseline).
+
+    Instantiate once per (comm, pfs) pair and call :meth:`write` /
+    :meth:`read` from every rank's process (SPMD).  Finished-operation
+    statistics accumulate in :attr:`history`.
+    """
+
+    name = "two-phase"
+
+    def __init__(
+        self,
+        comm: SimComm,
+        pfs: ParallelFileSystem,
+        config: Optional[TwoPhaseConfig] = None,
+    ):
+        self.comm = comm
+        self.pfs = pfs
+        self.config = config if config is not None else TwoPhaseConfig()
+        self._rank_seq: dict[int, int] = {}
+        self._plans: dict[int, ExecutionPlan] = {}
+        self._stats: dict[int, StatsCollector] = {}
+        #: Finalized stats of completed operations, in call order.
+        self.history: list[CollectiveStats] = []
+
+    # ------------------------------------------------------------------
+    def write(self, ctx: RankContext, pattern: AccessPattern,
+              payload: Optional[np.ndarray] = None):
+        """Process generator: collective write of this rank's view."""
+        return (yield from self._collective(ctx, pattern, payload, "write"))
+
+    def read(self, ctx: RankContext, pattern: AccessPattern,
+             payload: Optional[np.ndarray] = None):
+        """Process generator: collective read; fills and returns `payload`.
+
+        With a datastore attached and `payload` omitted, a fresh buffer of
+        ``pattern.nbytes`` is allocated and returned.
+        """
+        if payload is None and self.pfs.datastore is not None:
+            payload = np.zeros(pattern.nbytes, dtype=np.uint8)
+        return (yield from self._collective(ctx, pattern, payload, "read"))
+
+    # ------------------------------------------------------------------
+    def _next_seq(self, rank: int) -> int:
+        seq = self._rank_seq.get(rank, 0)
+        self._rank_seq[rank] = seq + 1
+        return seq
+
+    def _collective(self, ctx, pattern, payload, op):
+        if payload is not None and len(payload) != pattern.nbytes:
+            raise ValueError(
+                f"payload {len(payload)} B != pattern {pattern.nbytes} B"
+            )
+        seq = self._next_seq(ctx.rank)
+        meta_bytes = 32 * (1 + pattern.segment_count)
+        patterns = yield from self.comm.allgather(ctx, pattern, nbytes=meta_bytes)
+        plan, stats = self._prepare(seq, patterns, op)
+        result = yield from execute_collective(
+            ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
+            payload=payload, granularity=self.config.shuffle_granularity,
+        )
+        self._finish(seq, ctx)
+        return result
+
+    def _prepare(self, seq, patterns, op):
+        """Plan once per collective call (identical on every rank)."""
+        if seq not in self._plans:
+            self._plans[seq] = self.plan(patterns)
+            collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
+            collector.n_groups = self._plans[seq].n_groups
+            self._stats[seq] = collector
+        return self._plans[seq], self._stats[seq]
+
+    def _finish(self, seq, ctx):
+        """Last rank out finalizes the stats."""
+        stats = self._stats.get(seq)
+        if stats is None:
+            return
+        stats.extra["finishers"] = stats.extra.get("finishers", 0) + 1
+        if stats.extra["finishers"] == self.comm.size:
+            stats.mark_end(ctx.env.now)
+            self.history.append(stats.finalize())
+            del self._stats[seq]
+            del self._plans[seq]
+
+    # ------------------------------------------------------------------
+    def plan(self, patterns: Sequence[AccessPattern]) -> ExecutionPlan:
+        """Compute the baseline execution plan for the gathered views."""
+        active = [p for p in patterns if not p.empty]
+        if not active:
+            return ExecutionPlan((), (), n_groups=1)
+        lo = min(p.start for p in active)
+        hi = max(p.end for p in active)
+        aggs = default_aggregators(self.comm.placement, self.config.cb_nodes)
+        stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
+        extents = even_domains(lo, hi, len(aggs), stripe_size=stripe)
+        domains = [
+            FileDomain(
+                extent=ext,
+                aggregator_rank=aggs[i],
+                buffer_bytes=self.config.cb_buffer_size,
+                paged=False,  # the baseline does not know (or care)
+                group_id=0,
+            )
+            for i, ext in enumerate(extents)
+        ]
+        return ExecutionPlan.build(domains, patterns, n_groups=1)

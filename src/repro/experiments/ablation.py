@@ -1,0 +1,129 @@
+"""Ablation study: which of MCIO's mechanisms buys what.
+
+DESIGN.md calls out three separable design choices; each variant disables
+one while keeping the rest:
+
+* ``no-groups`` — one aggregation group for the whole workload
+  (``msg_group`` = ∞): loses the traffic containment and the per-group
+  slot sizing;
+* ``memory-oblivious`` — plans as if every node had full physical memory
+  (``memory_oblivious=True``): keeps groups/partitioning but places
+  aggregators blind to the actual availability;
+* ``no-adaptive-buffer`` — hosts must fit the nominal buffer or the
+  domain remerges/pages (``adaptive_buffer=False``);
+* ``single-aggregator`` — ``N_ah = 1`` (ROMIO's one-process-per-node
+  restriction).
+
+Run as a script::
+
+    python -m repro.experiments.ablation
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cluster import MIB, ross13_testbed
+from repro.core import (
+    CollectiveStats,
+    MCIOConfig,
+    MemoryConsciousCollectiveIO,
+    TwoPhaseCollectiveIO,
+    TwoPhaseConfig,
+)
+from repro.workloads import CollPerfWorkload
+
+from .harness import Platform, run_collective
+from .report import format_table, improvement_pct
+
+__all__ = ["AblationResult", "VARIANTS", "run", "main"]
+
+_BASE_MCIO = MCIOConfig(
+    msg_group=384 * MIB, msg_ind=32 * MIB, mem_min=0, nah=2, min_buffer=1 * MIB
+)
+
+#: variant name -> MCIO config derivation
+VARIANTS: dict[str, MCIOConfig] = {
+    "mcio (full)": _BASE_MCIO,
+    "no-groups": replace(_BASE_MCIO, msg_group=1 << 62),
+    "memory-oblivious": replace(_BASE_MCIO, memory_oblivious=True),
+    "no-adaptive-buffer": replace(_BASE_MCIO, adaptive_buffer=False),
+    "single-aggregator": replace(_BASE_MCIO, nah=1),
+}
+
+
+@dataclass
+class AblationResult:
+    """Bandwidths of the baseline and every MCIO variant."""
+
+    baseline: CollectiveStats
+    variants: dict[str, CollectiveStats]
+
+    def rows(self) -> list[tuple[str, str, str, str]]:
+        """Report rows: variant, bandwidth, vs baseline, paged count."""
+        out = [
+            (
+                "two-phase (baseline)",
+                f"{self.baseline.bandwidth_mib:.1f}",
+                "--",
+                str(self.baseline.paged_aggregators),
+            )
+        ]
+        for name, stats in self.variants.items():
+            out.append(
+                (
+                    name,
+                    f"{stats.bandwidth_mib:.1f}",
+                    f"{improvement_pct(self.baseline.bandwidth_mib, stats.bandwidth_mib):+.1f}%",
+                    str(stats.paged_aggregators),
+                )
+            )
+        return out
+
+    def render(self) -> str:
+        """The ablation table as text."""
+        return format_table(
+            ["variant", "write MiB/s", "vs baseline", "paged aggs"],
+            self.rows(),
+            title="Ablation: MCIO mechanisms (coll_perf write, 16 MiB buffers)",
+        )
+
+
+def run(buffer_mib: int = 16, sigma_mib: int = 50, seed: int = 0) -> AblationResult:
+    """Run the baseline plus every variant on identical platforms."""
+    spec = ross13_testbed(nodes=10)
+    workload = CollPerfWorkload(array_shape=(512, 512, 1024), n_ranks=120)
+    patterns = workload.patterns()
+
+    def fresh_platform() -> Platform:
+        platform = Platform.build(spec, workload.n_ranks, seed=seed)
+        platform.cluster.sample_memory_availability(
+            mean_bytes=buffer_mib * MIB, sigma_bytes=sigma_mib * MIB
+        )
+        return platform
+
+    platform = fresh_platform()
+    baseline_engine = TwoPhaseCollectiveIO(
+        platform.comm, platform.pfs, TwoPhaseConfig(cb_buffer_size=buffer_mib * MIB)
+    )
+    baseline = run_collective(platform, baseline_engine, patterns, ops=("write",))[0]
+
+    variants = {}
+    for name, config in VARIANTS.items():
+        platform = fresh_platform()
+        engine = MemoryConsciousCollectiveIO(
+            platform.comm,
+            platform.pfs,
+            replace(config, cb_buffer_size=buffer_mib * MIB),
+        )
+        variants[name] = run_collective(platform, engine, patterns, ops=("write",))[0]
+    return AblationResult(baseline=baseline, variants=variants)
+
+
+def main() -> None:
+    """CLI entry point."""
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,196 @@
+"""Experiment harness: build platforms, run collectives, sweep memory.
+
+The paper's evaluation methodology (§4):
+
+* a fixed cluster and Lustre-like file system (1 MB round-robin stripes);
+* per run, the aggregation-buffer size is swept; the *available memory*
+  of each node is drawn from a normal distribution whose mean equals the
+  nominal buffer size, with σ = 50 MB ("the memory buffer sizes for
+  processes were set up as random variables following a normal
+  distribution ... the standard deviation was set as 50");
+* the normal two-phase collective I/O uses the fixed nominal buffer on
+  ROMIO's default aggregators; memory-conscious collective I/O plans
+  against the actual availability;
+* both write and read bandwidth are reported.
+
+:func:`run_memory_sweep` reproduces that loop for any workload and both
+strategies, returning the per-point
+:class:`~repro.core.metrics.CollectiveStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from repro.cluster import Cluster, ClusterSpec, block_placement
+from repro.core import (
+    CollectiveStats,
+    MCIOConfig,
+    MemoryConsciousCollectiveIO,
+    TwoPhaseCollectiveIO,
+    TwoPhaseConfig,
+)
+from repro.core.request import AccessPattern
+from repro.mpi import SimComm
+from repro.pfs import ParallelFileSystem, SparseFile
+from repro.sim import Environment, RngFactory
+
+__all__ = ["Platform", "SweepPoint", "run_collective", "run_memory_sweep"]
+
+
+@dataclass
+class Platform:
+    """A complete simulated platform for one experiment run."""
+
+    env: Environment
+    cluster: Cluster
+    comm: SimComm
+    pfs: ParallelFileSystem
+
+    @classmethod
+    def build(
+        cls,
+        spec: ClusterSpec,
+        n_ranks: int,
+        seed: int = 0,
+        with_data: bool = False,
+    ) -> "Platform":
+        """Construct env + cluster + comm + PFS from a spec."""
+        env = Environment()
+        cluster = Cluster(env, spec, RngFactory(seed))
+        placement = block_placement(n_ranks, spec.nodes, spec.node.cores)
+        comm = SimComm(env, cluster, placement)
+        store = SparseFile() if with_data else None
+        pfs = ParallelFileSystem(env, spec.storage, datastore=store)
+        return cls(env=env, cluster=cluster, comm=comm, pfs=pfs)
+
+
+def run_collective(
+    platform: Platform,
+    engine,
+    patterns: Sequence[AccessPattern],
+    ops: Sequence[str] = ("write", "read"),
+) -> list[CollectiveStats]:
+    """Run `ops` back to back on `platform` and return their stats."""
+    if len(patterns) != platform.comm.size:
+        raise ValueError(
+            f"{len(patterns)} patterns for {platform.comm.size} ranks"
+        )
+
+    def main(ctx):
+        pattern = patterns[ctx.rank]
+        for op in ops:
+            if op == "write":
+                yield from engine.write(ctx, pattern)
+            elif op == "read":
+                yield from engine.read(ctx, pattern)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+
+    platform.comm.run_spmd(main)
+    return list(engine.history[-len(ops):])
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a memory-sweep experiment."""
+
+    buffer_bytes: int
+    strategy: str
+    op: str
+    stats: CollectiveStats
+
+    @property
+    def bandwidth_mib(self) -> float:
+        """Effective MiB/s at this point."""
+        return self.stats.bandwidth_mib
+
+
+def run_memory_sweep(
+    spec: ClusterSpec,
+    patterns: Sequence[AccessPattern],
+    buffer_sizes: Sequence[int],
+    sigma_bytes: float,
+    seed: int = 0,
+    mcio_config: Optional[MCIOConfig] = None,
+    twophase_config: Optional[TwoPhaseConfig] = None,
+    ops: Sequence[str] = ("write", "read"),
+    strategies: Sequence[str] = ("two-phase", "mcio"),
+    granularity: str = "round",
+) -> list[SweepPoint]:
+    """The paper's evaluation loop.
+
+    For every nominal buffer size, both strategies run the same workload
+    on a fresh platform whose per-node available memory is drawn from
+    ``N(buffer, sigma)`` (same seed ⇒ both strategies see the *same*
+    memory landscape, a paired comparison).
+
+    Parameters
+    ----------
+    spec:
+        Platform description.
+    patterns:
+        Per-rank file views (defines the rank count).
+    buffer_sizes:
+        Nominal aggregation-buffer sizes to sweep, bytes.
+    sigma_bytes:
+        Std-dev of the availability distribution (paper: 50 MB).
+    mcio_config / twophase_config:
+        Templates; ``cb_buffer_size`` and ``shuffle_granularity`` are
+        overridden per point.
+    ops:
+        Which operations to measure (order preserved).
+    strategies:
+        Subset of ``("two-phase", "mcio")``.
+
+    Returns
+    -------
+    list of SweepPoint
+        One per (buffer, strategy, op).
+    """
+    n_ranks = len(patterns)
+    mcio_template = mcio_config if mcio_config is not None else MCIOConfig()
+    tp_template = (
+        twophase_config if twophase_config is not None else TwoPhaseConfig()
+    )
+    points: list[SweepPoint] = []
+    for buffer in buffer_sizes:
+        for strategy in strategies:
+            platform = Platform.build(spec, n_ranks, seed=seed)
+            platform.cluster.sample_memory_availability(
+                mean_bytes=float(buffer), sigma_bytes=float(sigma_bytes)
+            )
+            if strategy == "two-phase":
+                engine = TwoPhaseCollectiveIO(
+                    platform.comm,
+                    platform.pfs,
+                    replace(
+                        tp_template,
+                        cb_buffer_size=int(buffer),
+                        shuffle_granularity=granularity,
+                    ),
+                )
+            elif strategy == "mcio":
+                engine = MemoryConsciousCollectiveIO(
+                    platform.comm,
+                    platform.pfs,
+                    replace(
+                        mcio_template,
+                        cb_buffer_size=int(buffer),
+                        shuffle_granularity=granularity,
+                    ),
+                )
+            else:
+                raise ValueError(f"unknown strategy {strategy!r}")
+            all_stats = run_collective(platform, engine, patterns, ops=ops)
+            for op, stats in zip(ops, all_stats):
+                points.append(
+                    SweepPoint(
+                        buffer_bytes=int(buffer),
+                        strategy=strategy,
+                        op=op,
+                        stats=stats,
+                    )
+                )
+    return points

@@ -1,0 +1,177 @@
+"""Memory-pressure experiment: the poster's qualitative claims.
+
+Beyond bandwidth, the paper claims MCIO "reduces aggregator memory
+consumption and variance" and "restricts aggregation data traffic within
+disjointed subgroups".  This experiment runs both strategies on the same
+workload and memory landscape and reports:
+
+* per-aggregator peak buffer memory (mean / max);
+* the spread (std-dev) of buffer memory across aggregators;
+* paged-aggregator counts;
+* shuffle traffic split intra-node / inter-node / inter-group (MCIO's
+  inter-group bytes must be exactly zero).
+
+Run as a script::
+
+    python -m repro.experiments.memory_pressure
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cluster import MIB, ross13_testbed
+from repro.core import (
+    CollectiveStats,
+    MCIOConfig,
+    MemoryConsciousCollectiveIO,
+    TwoPhaseCollectiveIO,
+    TwoPhaseConfig,
+)
+from repro.workloads import CollPerfWorkload
+
+from .harness import Platform, run_collective
+from .report import format_table
+
+__all__ = ["MemoryPressureResult", "run", "main"]
+
+
+@dataclass
+class MemoryPressureResult:
+    """Paired stats of one memory-pressure run."""
+
+    baseline: CollectiveStats
+    mcio: CollectiveStats
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """Metric rows for the report table."""
+        b, m = self.baseline, self.mcio
+
+        def mib(v: float) -> str:
+            return f"{v / 2**20:.1f}"
+
+        return [
+            ("aggregators", str(b.n_aggregators), str(m.n_aggregators)),
+            ("agg buffer mean (MiB)", mib(b.agg_memory_mean), mib(m.agg_memory_mean)),
+            ("agg buffer peak (MiB)", mib(b.agg_memory_peak), mib(m.agg_memory_peak)),
+            (
+                "memory overcommit mean (MiB)",
+                mib(b.overcommit_mean),
+                mib(m.overcommit_mean),
+            ),
+            (
+                "memory overcommit peak (MiB)",
+                mib(b.overcommit_peak),
+                mib(m.overcommit_peak),
+            ),
+            (
+                "memory overcommit std (MiB)",
+                mib(b.overcommit_std),
+                mib(m.overcommit_std),
+            ),
+            ("paged aggregators", str(b.paged_aggregators), str(m.paged_aggregators)),
+            (
+                "intra-node shuffle (MiB)",
+                mib(b.shuffle_intra_node_bytes),
+                mib(m.shuffle_intra_node_bytes),
+            ),
+            (
+                "inter-node shuffle (MiB)",
+                mib(b.shuffle_inter_node_bytes),
+                mib(m.shuffle_inter_node_bytes),
+            ),
+            (
+                "inter-group shuffle (MiB)",
+                mib(b.shuffle_inter_group_bytes),
+                mib(m.shuffle_inter_group_bytes),
+            ),
+            ("groups", str(b.n_groups), str(m.n_groups)),
+            (
+                "write bandwidth (MiB/s)",
+                f"{b.bandwidth_mib:.1f}",
+                f"{m.bandwidth_mib:.1f}",
+            ),
+        ]
+
+    def render(self) -> str:
+        """The comparison table as text."""
+        return format_table(
+            ["metric", "two-phase", "MCIO"],
+            self.rows(),
+            title="Memory pressure and traffic containment (collective write)",
+        )
+
+    def check_claims(self) -> list[str]:
+        """Validate the poster's qualitative claims; returns violations."""
+        issues = []
+        b, m = self.baseline, self.mcio
+        if m.shuffle_inter_group_bytes != 0:
+            issues.append("MCIO leaked shuffle traffic across groups")
+        if m.paged_aggregators > b.paged_aggregators:
+            issues.append("MCIO paged more aggregators than the baseline")
+        if m.overcommit_mean > b.overcommit_mean:
+            issues.append(
+                "MCIO's mean memory overcommit exceeds the baseline's"
+            )
+        if m.overcommit_std > b.overcommit_std:
+            issues.append(
+                "MCIO's memory-overcommit variance exceeds the baseline's"
+            )
+        return issues
+
+
+def run(
+    buffer_mib: int = 16,
+    sigma_mib: int = 50,
+    seed: int = 0,
+    mcio_config: Optional[MCIOConfig] = None,
+) -> MemoryPressureResult:
+    """Run the paired comparison on the coll_perf workload (1 GiB file)."""
+    spec = ross13_testbed(nodes=10)
+    workload = CollPerfWorkload(array_shape=(512, 512, 1024), n_ranks=120)
+    patterns = workload.patterns()
+    template = (
+        mcio_config
+        if mcio_config is not None
+        else MCIOConfig(
+            msg_group=384 * MIB, msg_ind=32 * MIB, mem_min=0, nah=2,
+            min_buffer=1 * MIB,
+        )
+    )
+
+    stats = {}
+    for strategy in ("two-phase", "mcio"):
+        platform = Platform.build(spec, workload.n_ranks, seed=seed)
+        platform.cluster.sample_memory_availability(
+            mean_bytes=buffer_mib * MIB, sigma_bytes=sigma_mib * MIB
+        )
+        if strategy == "two-phase":
+            engine = TwoPhaseCollectiveIO(
+                platform.comm, platform.pfs,
+                TwoPhaseConfig(cb_buffer_size=buffer_mib * MIB),
+            )
+        else:
+            engine = MemoryConsciousCollectiveIO(
+                platform.comm, platform.pfs,
+                replace(template, cb_buffer_size=buffer_mib * MIB),
+            )
+        stats[strategy] = run_collective(platform, engine, patterns, ops=("write",))[0]
+    return MemoryPressureResult(baseline=stats["two-phase"], mcio=stats["mcio"])
+
+
+def main() -> None:
+    """CLI entry point."""
+    result = run()
+    print(result.render())
+    issues = result.check_claims()
+    if issues:
+        print("\nCLAIM VIOLATIONS:")
+        for issue in issues:
+            print(f"  - {issue}")
+    else:
+        print("\nclaim checks passed")
+
+
+if __name__ == "__main__":
+    main()

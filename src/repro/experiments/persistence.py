@@ -1,0 +1,132 @@
+"""JSON persistence for experiment results.
+
+Sweep results are plain data; saving them lets a long `--scale paper` run
+be rendered, compared, or plotted later without re-simulating.  The
+format is stable and self-describing::
+
+    {
+      "schema": "repro.sweep/1",
+      "figure_id": "...", "description": "...",
+      "points": [ {"buffer_bytes": ..., "strategy": "...", "op": "...",
+                   "stats": { ...CollectiveStats fields... }}, ... ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.core.metrics import CollectiveStats
+
+from .harness import SweepPoint
+
+__all__ = [
+    "stats_to_dict",
+    "stats_from_dict",
+    "save_points",
+    "load_points",
+]
+
+_SCHEMA = "repro.sweep/1"
+
+
+def stats_to_dict(stats: CollectiveStats) -> dict:
+    """Serialize one :class:`CollectiveStats` to plain JSON types."""
+    return {
+        "strategy": stats.strategy,
+        "op": stats.op,
+        "total_bytes": stats.total_bytes,
+        "elapsed": stats.elapsed,
+        "n_ranks": stats.n_ranks,
+        "n_aggregators": stats.n_aggregators,
+        "aggregator_ranks": list(stats.aggregator_ranks),
+        "agg_buffer_bytes": {str(k): v for k, v in stats.agg_buffer_bytes.items()},
+        "agg_overcommit_bytes": {
+            str(k): v for k, v in stats.agg_overcommit_bytes.items()
+        },
+        "paged_aggregators": stats.paged_aggregators,
+        "rounds_total": stats.rounds_total,
+        "shuffle_intra_node_bytes": stats.shuffle_intra_node_bytes,
+        "shuffle_inter_node_bytes": stats.shuffle_inter_node_bytes,
+        "shuffle_inter_group_bytes": stats.shuffle_inter_group_bytes,
+        "n_groups": stats.n_groups,
+        "extra": {
+            k: v
+            for k, v in stats.extra.items()
+            if isinstance(v, (int, float, str, bool))
+        },
+    }
+
+
+def stats_from_dict(d: dict) -> CollectiveStats:
+    """Rebuild a :class:`CollectiveStats` from :func:`stats_to_dict` output."""
+    return CollectiveStats(
+        strategy=d["strategy"],
+        op=d["op"],
+        total_bytes=d["total_bytes"],
+        elapsed=d["elapsed"],
+        n_ranks=d["n_ranks"],
+        n_aggregators=d["n_aggregators"],
+        aggregator_ranks=tuple(d["aggregator_ranks"]),
+        agg_buffer_bytes={int(k): v for k, v in d["agg_buffer_bytes"].items()},
+        agg_overcommit_bytes={
+            int(k): v for k, v in d.get("agg_overcommit_bytes", {}).items()
+        },
+        paged_aggregators=d["paged_aggregators"],
+        rounds_total=d["rounds_total"],
+        shuffle_intra_node_bytes=d["shuffle_intra_node_bytes"],
+        shuffle_inter_node_bytes=d["shuffle_inter_node_bytes"],
+        shuffle_inter_group_bytes=d["shuffle_inter_group_bytes"],
+        n_groups=d.get("n_groups", 1),
+        extra=dict(d.get("extra", {})),
+    )
+
+
+def save_points(
+    path: str | Path,
+    points: Iterable[SweepPoint],
+    figure_id: str = "",
+    description: str = "",
+) -> None:
+    """Write a sweep's points to `path` as JSON."""
+    doc = {
+        "schema": _SCHEMA,
+        "figure_id": figure_id,
+        "description": description,
+        "points": [
+            {
+                "buffer_bytes": p.buffer_bytes,
+                "strategy": p.strategy,
+                "op": p.op,
+                "stats": stats_to_dict(p.stats),
+            }
+            for p in points
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_points(path: str | Path) -> tuple[list[SweepPoint], dict]:
+    """Read a sweep back; returns ``(points, metadata)``.
+
+    Raises
+    ------
+    ValueError
+        If the file does not carry the expected schema tag.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != _SCHEMA:
+        raise ValueError(f"not a {_SCHEMA} file: {path}")
+    points = [
+        SweepPoint(
+            buffer_bytes=p["buffer_bytes"],
+            strategy=p["strategy"],
+            op=p["op"],
+            stats=stats_from_dict(p["stats"]),
+        )
+        for p in doc["points"]
+    ]
+    meta = {k: doc.get(k, "") for k in ("figure_id", "description")}
+    return points, meta

@@ -1,0 +1,96 @@
+"""Text rendering of experiment results (the tables the figures plot)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .harness import SweepPoint
+
+__all__ = [
+    "format_table",
+    "improvement_pct",
+    "sweep_rows",
+    "sweep_table",
+    "average_improvements",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def improvement_pct(baseline: float, improved: float) -> float:
+    """Relative improvement of `improved` over `baseline`, percent."""
+    if baseline <= 0:
+        return 0.0
+    return (improved / baseline - 1.0) * 100.0
+
+
+def _index(points: Sequence[SweepPoint]) -> dict[tuple[int, str, str], SweepPoint]:
+    return {(p.buffer_bytes, p.strategy, p.op): p for p in points}
+
+
+def sweep_rows(
+    points: Sequence[SweepPoint], op: str
+) -> list[tuple[int, float, float, float]]:
+    """``(buffer, baseline MiB/s, MCIO MiB/s, improvement %)`` per buffer."""
+    idx = _index(points)
+    buffers = sorted({p.buffer_bytes for p in points}, reverse=True)
+    rows = []
+    for b in buffers:
+        base = idx.get((b, "two-phase", op))
+        mcio = idx.get((b, "mcio", op))
+        if base is None or mcio is None:
+            continue
+        rows.append(
+            (
+                b,
+                base.bandwidth_mib,
+                mcio.bandwidth_mib,
+                improvement_pct(base.bandwidth_mib, mcio.bandwidth_mib),
+            )
+        )
+    return rows
+
+
+def sweep_table(points: Sequence[SweepPoint], op: str, title: str = "") -> str:
+    """Render one operation's sweep as the paper's figure table."""
+    rows = [
+        (
+            f"{b / 2**20:g}",
+            f"{base:.1f}",
+            f"{mcio:.1f}",
+            f"{imp:+.1f}%",
+        )
+        for b, base, mcio, imp in sweep_rows(points, op)
+    ]
+    return format_table(
+        ["mem/agg (MiB)", "two-phase (MiB/s)", "MCIO (MiB/s)", "improvement"],
+        rows,
+        title=title or f"{op} bandwidth vs aggregation memory",
+    )
+
+
+def average_improvements(points: Sequence[SweepPoint]) -> dict[str, float]:
+    """Mean improvement % per op across the sweep (the paper's headline)."""
+    out = {}
+    for op in sorted({p.op for p in points}):
+        rows = sweep_rows(points, op)
+        if rows:
+            out[op] = sum(r[3] for r in rows) / len(rows)
+    return out

@@ -1,0 +1,79 @@
+"""Table 1: potential exascale computer design vs 2010 HPC designs.
+
+Regenerates the paper's Table 1 (after Vetter et al.) together with the
+derived row the paper's argument rests on: the memory-per-core factor
+``M / (SZ * NC)``, which shows memory per core *shrinking* ~125x while
+total concurrency grows 4444x.
+
+Run as a script::
+
+    python -m repro.experiments.table1
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import (
+    TABLE1_ROWS,
+    exascale_2018,
+    memory_per_core_factor,
+    petascale_2010,
+)
+
+from .report import format_table
+
+__all__ = ["table1_rows", "render_table1", "derived_rows", "main"]
+
+
+def table1_rows() -> list[tuple[str, str, str, str]]:
+    """The paper's eleven rows, formatted."""
+    return [
+        (metric, y2010, y2018, f"{factor:g}")
+        for metric, y2010, y2018, factor in TABLE1_ROWS
+    ]
+
+
+def derived_rows() -> list[tuple[str, str, str, str]]:
+    """Rows the paper derives from Table 1 (memory-per-core collapse)."""
+    factors = {row[0]: row[3] for row in TABLE1_ROWS}
+    mpc = memory_per_core_factor(
+        factors["System Memory"],
+        factors["System Size (nodes)"],
+        factors["Node Concurrency"],
+    )
+    pre = petascale_2010().node.memory_per_core / 2**20
+    post = exascale_2018().node.memory_per_core / 2**20
+    return [
+        (
+            "Memory per core (derived)",
+            f"{pre:.0f} MB",
+            f"{post:.0f} MB",
+            f"{mpc:.4f}",
+        ),
+        (
+            "Memory BW per core (derived)",
+            f"{petascale_2010().node.bandwidth_per_core / 1e9:.2f} GB/s",
+            f"{exascale_2018().node.bandwidth_per_core / 1e9:.2f} GB/s",
+            f"{16 / 83:.4f}",
+        ),
+    ]
+
+
+def render_table1() -> str:
+    """The full table as text."""
+    return format_table(
+        ["Metric", "2010", "2018", "Factor Change"],
+        table1_rows() + derived_rows(),
+        title=(
+            "Table 1: potential exascale computer design and its "
+            "relationship to current HPC designs"
+        ),
+    )
+
+
+def main() -> None:
+    """Print the table."""
+    print(render_table1())
+
+
+if __name__ == "__main__":
+    main()

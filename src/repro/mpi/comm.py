@@ -1,0 +1,400 @@
+"""Simulated MPI communicator over the cluster model.
+
+Ranks are discrete-event processes; :class:`SimComm` gives them the MPI
+surface that ROMIO-style collective I/O is written against:
+
+* point-to-point ``send``/``recv``/``isend`` with tag matching, charged on
+  the cluster network (NIC contention, intra-node shared-memory path);
+* group collectives (``barrier``, ``bcast``, ``gather``, ``allgather``,
+  ``alltoall``, ``allreduce``) with value semantics identical to MPI and a
+  binomial-tree time charge — these carry *metadata* (offset lists, sizes);
+  bulk shuffle data always moves through explicit p2p so contention and
+  memory effects are simulated per message;
+* sub-groups (:meth:`SimComm.group`) so MCIO's aggregation groups can run
+  their own collectives independently, like a communicator split.
+
+All calls taking a ``ctx`` are generators and must be ``yield from``-ed
+inside the calling rank's process.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.cluster import Cluster, Node
+from repro.sim import Environment, Event, Process
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Message", "RankContext", "CommGroup", "SimComm"]
+
+
+class _AnySentinel:
+    def __init__(self, label: str):
+        self._label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self._label
+
+
+#: Wildcard source for :meth:`SimComm.recv`.
+ANY_SOURCE = _AnySentinel("ANY_SOURCE")
+#: Wildcard tag for :meth:`SimComm.recv`.
+ANY_TAG = _AnySentinel("ANY_TAG")
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered point-to-point message."""
+
+    source: int
+    tag: int
+    nbytes: int
+    payload: Any = None
+
+
+@dataclass
+class RankContext:
+    """Per-rank handle passed to SPMD process functions."""
+
+    comm: "SimComm"
+    rank: int
+
+    @property
+    def env(self) -> Environment:
+        """The simulation environment."""
+        return self.comm.env
+
+    @property
+    def node(self) -> Node:
+        """The node this rank runs on."""
+        return self.comm.node_of_rank(self.rank)
+
+    @property
+    def size(self) -> int:
+        """World size."""
+        return self.comm.size
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Run `generator` as a concurrent sub-process of this rank."""
+        return self.comm.env.process(generator, name=name or f"rank{self.rank}.sub")
+
+
+class CommGroup:
+    """An ordered subset of world ranks with its own collective context."""
+
+    _next_gid = 1
+
+    def __init__(self, ranks: Sequence[int], gid: Optional[int] = None):
+        self.ranks = tuple(ranks)
+        if len(set(self.ranks)) != len(self.ranks):
+            raise ValueError("duplicate ranks in group")
+        if gid is None:
+            gid = CommGroup._next_gid
+            CommGroup._next_gid += 1
+        self.gid = gid
+        self._index = {r: i for i, r in enumerate(self.ranks)}
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the group."""
+        return len(self.ranks)
+
+    def index_of(self, rank: int) -> int:
+        """Position of `rank` inside the group."""
+        return self._index[rank]
+
+    def __contains__(self, rank: int) -> bool:
+        return rank in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CommGroup gid={self.gid} size={self.size}>"
+
+
+@dataclass
+class _CollectiveState:
+    event: Event
+    values: dict[int, Any] = field(default_factory=dict)
+    nbytes_max: int = 0
+
+
+class SimComm:
+    """MPI-like runtime binding ranks to cluster nodes.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    cluster:
+        The simulated platform.
+    placement:
+        ``placement[rank]`` = node id, e.g. from
+        :func:`repro.cluster.block_placement`.
+    metadata_bandwidth:
+        Effective bytes/second used for collective metadata time charges.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        placement: Sequence[int],
+        metadata_bandwidth: float = 1e9,
+    ):
+        from repro.cluster.placement import validate_placement
+
+        validate_placement(placement, len(cluster.nodes), cluster.spec.node.cores)
+        self.env = env
+        self.cluster = cluster
+        self.placement = list(placement)
+        self.size = len(placement)
+        self.metadata_bandwidth = float(metadata_bandwidth)
+        self.world = CommGroup(tuple(range(self.size)), gid=0)
+        self._mail: list[deque[Message]] = [deque() for _ in range(self.size)]
+        self._recv_posts: list[deque[tuple[Event, Any, Any]]] = [
+            deque() for _ in range(self.size)
+        ]
+        self._coll_state: dict[tuple[str, int, int], _CollectiveState] = {}
+        self._coll_seq: dict[tuple[int, str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def node_of_rank(self, rank: int) -> Node:
+        """The node object hosting `rank`."""
+        return self.cluster.nodes[self.placement[rank]]
+
+    def node_id_of_rank(self, rank: int) -> int:
+        """The node id hosting `rank`."""
+        return self.placement[rank]
+
+    def ranks_on_node(self, node_id: int) -> list[int]:
+        """All ranks placed on `node_id`, in rank order."""
+        return [r for r in range(self.size) if self.placement[r] == node_id]
+
+    def group(self, ranks: Sequence[int]) -> CommGroup:
+        """Create a collective sub-group (like MPI_Comm_split)."""
+        for r in ranks:
+            if not 0 <= r < self.size:
+                raise ValueError(f"rank {r} out of range")
+        return CommGroup(tuple(ranks))
+
+    # ------------------------------------------------------------------
+    # SPMD launch
+    # ------------------------------------------------------------------
+    def launch(
+        self, main: Callable[[RankContext], Generator], ranks: Optional[Sequence[int]] = None
+    ) -> list[Process]:
+        """Start ``main(ctx)`` as a process on every rank (or on `ranks`)."""
+        targets = range(self.size) if ranks is None else ranks
+        procs = []
+        for rank in targets:
+            ctx = RankContext(self, rank)
+            procs.append(self.env.process(main(ctx), name=f"rank{rank}"))
+        return procs
+
+    def run_spmd(self, main: Callable[[RankContext], Generator]) -> list[Any]:
+        """Launch `main` on all ranks, run to completion, return rank results."""
+        procs = self.launch(main)
+        done = self.env.all_of(procs)
+        self.env.run(until=done)
+        return [p.value for p in procs]
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        ctx: RankContext,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        paged_dst: bool = False,
+    ):
+        """Process generator: blocking send of `nbytes` to `dest`.
+
+        Completion means the data has crossed the network (eager protocol);
+        matching order at the receiver is arrival order.
+        """
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid dest rank {dest}")
+        src_node = self.node_of_rank(ctx.rank)
+        dst_node = self.node_of_rank(dest)
+        yield from self.cluster.network.transfer(
+            src_node, dst_node, nbytes, paged_dst=paged_dst
+        )
+        self._deliver(dest, Message(ctx.rank, tag, nbytes, payload))
+
+    def isend(
+        self,
+        ctx: RankContext,
+        dest: int,
+        nbytes: int,
+        tag: int = 0,
+        payload: Any = None,
+        paged_dst: bool = False,
+    ) -> Process:
+        """Non-blocking send; returns a joinable :class:`Process`."""
+        return ctx.spawn(
+            self.send(ctx, dest, nbytes, tag=tag, payload=payload, paged_dst=paged_dst),
+            name=f"rank{ctx.rank}.isend->{dest}",
+        )
+
+    def recv(self, ctx: RankContext, source: Any = ANY_SOURCE, tag: Any = ANY_TAG):
+        """Process generator: blocking receive; returns a :class:`Message`."""
+        mail = self._mail[ctx.rank]
+        for i, msg in enumerate(mail):
+            if self._matches(msg, source, tag):
+                del mail[i]
+                return msg
+        ev = self.env.event()
+        self._recv_posts[ctx.rank].append((ev, source, tag))
+        msg = yield ev
+        return msg
+
+    def _deliver(self, dest: int, msg: Message) -> None:
+        posts = self._recv_posts[dest]
+        for i, (ev, source, tag) in enumerate(posts):
+            if self._matches(msg, source, tag):
+                del posts[i]
+                ev.succeed(msg)
+                return
+        self._mail[dest].append(msg)
+
+    @staticmethod
+    def _matches(msg: Message, source: Any, tag: Any) -> bool:
+        if source is not ANY_SOURCE and msg.source != source:
+            return False
+        if tag is not ANY_TAG and msg.tag != tag:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # collectives (metadata plane)
+    # ------------------------------------------------------------------
+    def _collective(
+        self, ctx: RankContext, op: str, group: Optional[CommGroup], value: Any, nbytes: int
+    ):
+        """Shared rendezvous machinery for all collectives.
+
+        Returns the dict of all participants' deposited values (keyed by
+        rank), after charging a binomial-tree latency + metadata transfer.
+        """
+        grp = group if group is not None else self.world
+        if ctx.rank not in grp:
+            raise ValueError(f"rank {ctx.rank} not in group {grp!r}")
+        seq_key = (ctx.rank, op, grp.gid)
+        seq = self._coll_seq.get(seq_key, 0)
+        self._coll_seq[seq_key] = seq + 1
+
+        state_key = (op, grp.gid, seq)
+        state = self._coll_state.get(state_key)
+        if state is None:
+            state = _CollectiveState(event=self.env.event())
+            self._coll_state[state_key] = state
+        if ctx.rank in state.values:
+            raise RuntimeError(f"rank {ctx.rank} re-entered collective {state_key}")
+        state.values[ctx.rank] = value
+        state.nbytes_max = max(state.nbytes_max, nbytes)
+
+        if len(state.values) == grp.size:
+            del self._coll_state[state_key]
+            hops = max(1, (grp.size - 1).bit_length()) if grp.size > 1 else 0
+            latency = self.cluster.spec.node.nic_latency
+            t = hops * (latency + state.nbytes_max / self.metadata_bandwidth)
+            values = state.values
+
+            def _complete(env, event, result, delay):
+                yield env.timeout(delay)
+                event.succeed(result)
+
+            self.env.process(
+                _complete(self.env, state.event, values, t),
+                name=f"coll.{op}.{grp.gid}.{seq}",
+            )
+        values = yield state.event
+        return values
+
+    def barrier(self, ctx: RankContext, group: Optional[CommGroup] = None):
+        """Process generator: synchronize all ranks of the group."""
+        yield from self._collective(ctx, "barrier", group, None, 0)
+
+    def bcast(
+        self,
+        ctx: RankContext,
+        value: Any = None,
+        root: int = 0,
+        group: Optional[CommGroup] = None,
+        nbytes: int = 64,
+    ):
+        """Process generator: every rank returns the root's value."""
+        values = yield from self._collective(ctx, "bcast", group, value, nbytes)
+        if root not in values:
+            raise ValueError(f"bcast root {root} not in group")
+        return values[root]
+
+    def gather(
+        self,
+        ctx: RankContext,
+        value: Any,
+        root: int = 0,
+        group: Optional[CommGroup] = None,
+        nbytes: int = 64,
+    ):
+        """Process generator: root returns the list of values (group order),
+        others return None."""
+        grp = group if group is not None else self.world
+        values = yield from self._collective(ctx, "gather", group, value, nbytes)
+        if ctx.rank != root:
+            return None
+        return [values[r] for r in grp.ranks]
+
+    def allgather(
+        self,
+        ctx: RankContext,
+        value: Any,
+        group: Optional[CommGroup] = None,
+        nbytes: int = 64,
+    ):
+        """Process generator: every rank returns the list of all values."""
+        grp = group if group is not None else self.world
+        values = yield from self._collective(ctx, "allgather", group, value, nbytes)
+        return [values[r] for r in grp.ranks]
+
+    def alltoall(
+        self,
+        ctx: RankContext,
+        values: Sequence[Any],
+        group: Optional[CommGroup] = None,
+        nbytes: int = 64,
+    ):
+        """Process generator: metadata all-to-all.
+
+        `values[i]` goes to the group's i-th rank; returns the list received
+        (entry j from the group's j-th rank).
+        """
+        grp = group if group is not None else self.world
+        if len(values) != grp.size:
+            raise ValueError(f"need {grp.size} values, got {len(values)}")
+        all_values = yield from self._collective(
+            ctx, "alltoall", group, list(values), nbytes
+        )
+        my_index = grp.index_of(ctx.rank)
+        return [all_values[r][my_index] for r in grp.ranks]
+
+    def allreduce(
+        self,
+        ctx: RankContext,
+        value: Any,
+        op: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        group: Optional[CommGroup] = None,
+        nbytes: int = 64,
+    ):
+        """Process generator: every rank returns the reduction of all values."""
+        grp = group if group is not None else self.world
+        values = yield from self._collective(ctx, "allreduce", group, value, nbytes)
+        acc = values[grp.ranks[0]]
+        for r in grp.ranks[1:]:
+            acc = op(acc, values[r])
+        return acc

@@ -1,0 +1,178 @@
+"""MPI-style file views as access patterns.
+
+ROMIO's collective I/O consumes each rank's *file view* — an MPI derived
+datatype mapped onto the file — flattened into an offset/length list.  This
+module provides the equivalent constructors, producing
+:class:`~repro.core.request.AccessPattern` objects in ADIO-flattened
+(strided-segment) form:
+
+* :func:`contiguous_view` — plain ``(offset, length)``;
+* :func:`vector_view` — ``MPI_Type_vector``: count × block every stride;
+* :func:`hindexed_view` — explicit offset/length list;
+* :func:`subarray_view_3d` — ``MPI_Type_create_subarray`` for a 3D block
+  of a row-major global array (the coll_perf pattern);
+* :func:`dims_create` / :func:`block_decompose_3d` — the processor-grid
+  factorization MPI_Dims_create performs, and the resulting per-rank
+  subarrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.request import AccessPattern, Extent, StridedSegment
+
+__all__ = [
+    "contiguous_view",
+    "vector_view",
+    "hindexed_view",
+    "subarray_view_3d",
+    "dims_create",
+    "block_decompose_3d",
+]
+
+
+def contiguous_view(offset: int, length: int) -> AccessPattern:
+    """A single contiguous byte range at `offset`."""
+    if offset < 0 or length < 0:
+        raise ValueError("offset and length must be >= 0")
+    return AccessPattern.contiguous(offset, length)
+
+
+def vector_view(offset: int, count: int, block: int, stride: int) -> AccessPattern:
+    """``count`` blocks of ``block`` bytes every ``stride`` bytes.
+
+    Equivalent to an ``MPI_Type_vector`` file view with byte units — the
+    pattern IOR's interleaved mode produces for each rank.
+    """
+    if count == 0:
+        return AccessPattern(())
+    return AccessPattern((StridedSegment(offset, block, stride, count),))
+
+
+def hindexed_view(pieces: Iterable[tuple[int, int]]) -> AccessPattern:
+    """Explicit ``(offset, length)`` list (must be sorted and disjoint).
+
+    Equivalent to ``MPI_Type_create_hindexed``; zero-length pieces are
+    dropped.
+    """
+    extents = [Extent(off, ln) for off, ln in pieces]
+    return AccessPattern.from_extents(extents).coalesce()
+
+
+def subarray_view_3d(
+    global_shape: Sequence[int],
+    sub_shape: Sequence[int],
+    starts: Sequence[int],
+    elem_size: int = 1,
+) -> AccessPattern:
+    """File view of a 3D subarray of a row-major global array.
+
+    The global array has shape ``(nx, ny, nz)`` stored row-major (z fastest)
+    and the rank owns the block ``[sx:sx+cx, sy:sy+cy, sz:sz+cz]``.  Each
+    ``(x, y)`` pair contributes one contiguous run of ``cz * elem_size``
+    bytes; runs with consecutive ``y`` are one strided segment, so the view
+    has ``cx`` segments (or fewer after coalescing full planes).
+    """
+    nx, ny, nz = (int(v) for v in global_shape)
+    cx, cy, cz = (int(v) for v in sub_shape)
+    sx, sy, sz = (int(v) for v in starts)
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"bad global shape {global_shape}")
+    if min(cx, cy, cz) < 1:
+        raise ValueError(f"bad sub shape {sub_shape}")
+    if min(sx, sy, sz) < 0:
+        raise ValueError(f"negative starts {starts}")
+    if sx + cx > nx or sy + cy > ny or sz + cz > nz:
+        raise ValueError(f"subarray {starts}+{sub_shape} exceeds {global_shape}")
+    if elem_size < 1:
+        raise ValueError("elem_size must be >= 1")
+
+    run = cz * elem_size
+    row_stride = nz * elem_size
+
+    if cy == ny and cz == nz:
+        # full y-z planes: the whole block is one contiguous chunk
+        offset = ((sx * ny + sy) * nz + sz) * elem_size
+        return AccessPattern.contiguous(offset, cx * cy * cz * elem_size)
+
+    segments = []
+    for x in range(sx, sx + cx):
+        offset = ((x * ny + sy) * nz + sz) * elem_size
+        if cz == nz:
+            # full z rows merge across y into one contiguous run
+            segments.append(StridedSegment(offset, cy * run, cy * run, 1))
+        else:
+            segments.append(StridedSegment(offset, run, row_stride, cy))
+    return AccessPattern(tuple(segments)).coalesce()
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """Factor `nnodes` into `ndims` near-equal factors (MPI_Dims_create).
+
+    Returns factors in non-increasing order, e.g. ``dims_create(120, 3) ==
+    [6, 5, 4]``.
+    """
+    if nnodes < 1 or ndims < 1:
+        raise ValueError("nnodes and ndims must be >= 1")
+    dims = [1] * ndims
+    remaining = nnodes
+    # repeatedly strip the smallest prime factor and assign to smallest dim
+    factors = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims.sort()
+        dims[0] *= factor
+    return sorted(dims, reverse=True)
+
+
+def block_decompose_3d(
+    global_shape: Sequence[int], n_ranks: int
+) -> list[tuple[tuple[int, int, int], tuple[int, int, int]]]:
+    """Block-decompose a 3D array over `n_ranks` ranks.
+
+    Uses :func:`dims_create` for the processor grid and splits each axis
+    into near-equal blocks (first ``remainder`` blocks one element larger,
+    as MPI block distribution does).
+
+    Returns
+    -------
+    list of ``(starts, sub_shape)``
+        One entry per rank, rank order = row-major order of the grid.
+    """
+    nx, ny, nz = (int(v) for v in global_shape)
+    px, py, pz = dims_create(n_ranks, 3)
+    if px > nx or py > ny or pz > nz:
+        raise ValueError(
+            f"grid {px}x{py}x{pz} does not fit array {global_shape}"
+        )
+
+    def axis_blocks(n: int, p: int) -> list[tuple[int, int]]:
+        base, rem = divmod(n, p)
+        out = []
+        start = 0
+        for i in range(p):
+            size = base + (1 if i < rem else 0)
+            out.append((start, size))
+            start += size
+        return out
+
+    xs = axis_blocks(nx, px)
+    ys = axis_blocks(ny, py)
+    zs = axis_blocks(nz, pz)
+    result = []
+    for ix in range(px):
+        for iy in range(py):
+            for iz in range(pz):
+                starts = (xs[ix][0], ys[iy][0], zs[iz][0])
+                shape = (xs[ix][1], ys[iy][1], zs[iz][1])
+                result.append((starts, shape))
+    return result

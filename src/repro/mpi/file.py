@@ -1,0 +1,117 @@
+"""MPI-IO-style file interface over the collective-I/O engines.
+
+ROMIO sits behind ``MPI_File_open`` / ``MPI_File_set_view`` /
+``MPI_File_write_all``; this module provides the same ergonomics so
+application-style code reads like MPI-IO:
+
+>>> fh = SimFile.open(comm, engine)                   # collective
+>>> # inside a rank process:
+>>> fh.set_view(ctx, subarray_view_3d(...))
+>>> yield from fh.write_all(ctx, payload)             # collective write
+>>> data = yield from fh.read_all(ctx)                # collective read
+>>> yield from fh.write_at(ctx, offset, payload)      # independent
+>>> fh.close(ctx)
+
+``write_all``/``read_all`` route through the file's collective engine
+(two-phase or MCIO); ``write_at``/``read_at`` issue independent requests
+straight to the file system, like the POSIX path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.request import AccessPattern, Extent
+
+from .comm import RankContext, SimComm
+
+__all__ = ["SimFile"]
+
+
+class SimFile:
+    """A shared file handle bound to a communicator and an engine.
+
+    Parameters
+    ----------
+    comm:
+        The communicator whose ranks share the file.
+    engine:
+        A collective-I/O engine (``TwoPhaseCollectiveIO``,
+        ``MemoryConsciousCollectiveIO``) providing ``write``/``read``
+        and carrying the file system.
+    """
+
+    def __init__(self, comm: SimComm, engine):
+        self.comm = comm
+        self.engine = engine
+        self.pfs = engine.pfs
+        self._views: dict[int, AccessPattern] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, comm: SimComm, engine) -> "SimFile":
+        """Collectively open the shared file (all ranks get the handle)."""
+        return cls(comm, engine)
+
+    def set_view(self, ctx: RankContext, pattern: AccessPattern) -> None:
+        """Set this rank's file view (like MPI_File_set_view)."""
+        self._check_open()
+        self._views[ctx.rank] = pattern
+
+    def view(self, ctx: RankContext) -> AccessPattern:
+        """This rank's current view (empty pattern if never set)."""
+        return self._views.get(ctx.rank, AccessPattern(()))
+
+    # ------------------------------------------------------------------
+    # collective data operations
+    # ------------------------------------------------------------------
+    def write_all(self, ctx: RankContext, payload: Optional[np.ndarray] = None):
+        """Process generator: collective write of this rank's view."""
+        self._check_open()
+        return (yield from self.engine.write(ctx, self.view(ctx), payload))
+
+    def read_all(self, ctx: RankContext, payload: Optional[np.ndarray] = None):
+        """Process generator: collective read of this rank's view."""
+        self._check_open()
+        return (yield from self.engine.read(ctx, self.view(ctx), payload))
+
+    # ------------------------------------------------------------------
+    # independent data operations
+    # ------------------------------------------------------------------
+    def write_at(self, ctx: RankContext, offset: int, payload: np.ndarray):
+        """Process generator: independent contiguous write at `offset`."""
+        self._check_open()
+        ext = Extent(offset, len(payload))
+        yield from self.pfs.write_extent(ctx.node, ext, np.asarray(payload, np.uint8))
+
+    def read_at(self, ctx: RankContext, offset: int, nbytes: int):
+        """Process generator: independent contiguous read; returns bytes."""
+        self._check_open()
+        return (yield from self.pfs.read_extent(ctx.node, Extent(offset, nbytes)))
+
+    # ------------------------------------------------------------------
+    def sync(self, ctx: RankContext):
+        """Process generator: barrier-like flush (MPI_File_sync)."""
+        self._check_open()
+        yield from self.comm.barrier(ctx)
+
+    def close(self, ctx: RankContext) -> None:
+        """Close this rank's handle; the file closes when all ranks did."""
+        self._views.pop(ctx.rank, None)
+        # the handle stays usable for other ranks until everyone closed;
+        # tracking is intentionally loose, matching MPI's per-rank close
+        if not self._views:
+            self._closed = True
+
+    @property
+    def size(self) -> int:
+        """Current file size (0 without a datastore)."""
+        store = self.pfs.datastore
+        return store.size if store is not None else 0
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("I/O on a closed SimFile")

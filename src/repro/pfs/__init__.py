@@ -1,0 +1,13 @@
+"""Simulated parallel file system (Lustre-like striping over I/O servers).
+
+Substitutes for the paper's 600 TB Lustre / DDN storage (see DESIGN.md §2):
+round-robin striping, per-server bandwidth and request overhead, FIFO
+queueing, and an optional byte-accurate datastore for correctness runs.
+"""
+
+from .datastore import SparseFile
+from .filesystem import ParallelFileSystem
+from .layout import StripeLayout
+from .server import IOServer
+
+__all__ = ["IOServer", "ParallelFileSystem", "SparseFile", "StripeLayout"]

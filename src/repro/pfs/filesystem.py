@@ -1,0 +1,232 @@
+"""Parallel file system facade: striping + servers + optional real data.
+
+Clients (rank processes) call :meth:`ParallelFileSystem.write_extent` /
+:meth:`read_extent` for contiguous transfers (what aggregators issue) and
+:meth:`write_pattern` / :meth:`read_pattern` for noncontiguous requests
+(what independent I/O issues).  Timing charges:
+
+* the client node's NIC (injection/ejection), so a node hosting many
+  aggregators bottlenecks on its own interface;
+* each touched server's FIFO queue: ``requests x overhead + bytes/bw``.
+
+A contiguous extent costs one request per touched server; a noncontiguous
+pattern costs one request per *block* — which is exactly why two-phase
+aggregation wins, and what the simulator must preserve.
+
+When a :class:`~repro.pfs.datastore.SparseFile` is attached, payloads are
+stored/retrieved byte-accurately so tests can verify end-to-end data
+integrity independent of timing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster import Node
+from repro.cluster.spec import StorageSpec
+from repro.core.request import AccessPattern, Extent
+from repro.sim import Environment
+
+from .datastore import SparseFile
+from .layout import StripeLayout
+from .server import IOServer
+
+__all__ = ["ParallelFileSystem"]
+
+#: Above this many blocks, per-server accounting for noncontiguous patterns
+#: switches from exact per-block mapping to an even approximation.
+_EXACT_BLOCK_LIMIT = 65536
+
+
+class ParallelFileSystem:
+    """A striped parallel file system on the simulated cluster.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    spec:
+        Storage hardware description (servers, bandwidth, overhead, stripe).
+    datastore:
+        Optional byte-accurate backing file; attach one to run in
+        correctness mode.
+    queue_depth:
+        Concurrent requests in service per server.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spec: StorageSpec,
+        datastore: Optional[SparseFile] = None,
+        queue_depth: int = 1,
+    ):
+        self.env = env
+        self.spec = spec
+        self.layout = StripeLayout(spec.stripe_size, spec.servers)
+        self.servers = [
+            IOServer(
+                env,
+                server_id=i,
+                bandwidth=spec.server_bandwidth,
+                request_overhead=spec.request_overhead,
+                queue_depth=queue_depth,
+                write_bandwidth_factor=spec.write_bandwidth_factor,
+            )
+            for i in range(spec.servers)
+        ]
+        self.datastore = datastore
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+    def _per_server_plan(self, pattern: AccessPattern) -> list[tuple[int, int, int]]:
+        """``(server, nbytes, requests)`` per touched server for a pattern."""
+        if pattern.empty:
+            return []
+        n = self.layout.n_servers
+        nbytes = np.zeros(n, dtype=np.int64)
+        requests = np.zeros(n, dtype=np.int64)
+        if pattern.block_count <= _EXACT_BLOCK_LIMIT:
+            for seg in pattern.segments:
+                for i in range(seg.count):
+                    ext = seg.block_extent(i)
+                    per = self.layout.per_server_bytes(ext)
+                    nbytes += per
+                    requests += per > 0
+        else:
+            # even approximation: blocks and bytes spread over all servers
+            total = pattern.nbytes
+            blocks = pattern.block_count
+            base_b, rem_b = divmod(total, n)
+            base_r, rem_r = divmod(blocks, n)
+            nbytes[:] = base_b
+            nbytes[:rem_b] += 1
+            requests[:] = base_r
+            requests[:rem_r] += 1
+        return [
+            (s, int(nbytes[s]), int(max(1, requests[s])))
+            for s in range(n)
+            if nbytes[s] > 0
+        ]
+
+    def _extent_plan(self, ext: Extent) -> list[tuple[int, int, int]]:
+        """``(server, nbytes, requests)`` for one contiguous extent."""
+        per = self.layout.per_server_bytes(ext)
+        return [(s, int(per[s]), 1) for s in np.flatnonzero(per)]
+
+    # ------------------------------------------------------------------
+    # timing core
+    # ------------------------------------------------------------------
+    def _do_io(self, client: Node, plan: list[tuple[int, int, int]], write: bool):
+        """Run one client I/O against the servers in `plan`, in parallel.
+
+        Holds the client NIC (tx for writes, rx for reads) for the wire
+        time of the full transfer, concurrently with server service.
+        """
+        total = sum(nbytes for _, nbytes, _ in plan)
+        if total == 0:
+            return
+        env = self.env
+
+        def nic_hold():
+            nic = client.nic_tx if write else client.nic_rx
+            req = nic.request()
+            yield req
+            try:
+                yield env.timeout(
+                    client.spec.nic_latency + total / client.spec.nic_bandwidth
+                )
+            finally:
+                nic.release(req)
+
+        procs = [env.process(nic_hold(), name="pfs.nic")]
+        for server_id, nbytes, requests in plan:
+            procs.append(
+                env.process(
+                    self.servers[server_id].serve(nbytes, requests, write=write),
+                    name=f"pfs.ost{server_id}",
+                )
+            )
+        yield env.all_of(procs)
+        if write:
+            self.bytes_written += total
+        else:
+            self.bytes_read += total
+
+    # ------------------------------------------------------------------
+    # contiguous ops (aggregator path)
+    # ------------------------------------------------------------------
+    def write_extent(
+        self, client: Node, ext: Extent, payload: Optional[np.ndarray] = None
+    ):
+        """Process generator: write one contiguous extent from `client`."""
+        if payload is not None:
+            if len(payload) != ext.length:
+                raise ValueError(
+                    f"payload {len(payload)} B != extent {ext.length} B"
+                )
+            if self.datastore is not None:
+                self.datastore.write(ext.offset, payload)
+        yield from self._do_io(client, self._extent_plan(ext), write=True)
+
+    def read_extent(self, client: Node, ext: Extent):
+        """Process generator: read one contiguous extent; returns bytes or None.
+
+        Returns a numpy uint8 array when a datastore is attached, else None.
+        """
+        yield from self._do_io(client, self._extent_plan(ext), write=False)
+        if self.datastore is not None:
+            return self.datastore.read(ext.offset, ext.length)
+        return None
+
+    # ------------------------------------------------------------------
+    # noncontiguous ops (independent-I/O path)
+    # ------------------------------------------------------------------
+    def write_pattern(
+        self, client: Node, pattern: AccessPattern, payload: Optional[np.ndarray] = None
+    ):
+        """Process generator: write a noncontiguous pattern request-by-request."""
+        if payload is not None:
+            if len(payload) != pattern.nbytes:
+                raise ValueError(
+                    f"payload {len(payload)} B != pattern {pattern.nbytes} B"
+                )
+            if self.datastore is not None:
+                for off, ln, buf in pattern.iter_mapped_extents():
+                    self.datastore.write(off, payload[buf : buf + ln])
+        yield from self._do_io(client, self._per_server_plan(pattern), write=True)
+
+    def read_pattern(self, client: Node, pattern: AccessPattern):
+        """Process generator: read a noncontiguous pattern; returns packed bytes.
+
+        Returns a numpy uint8 array (pattern order) when a datastore is
+        attached, else None.
+        """
+        yield from self._do_io(client, self._per_server_plan(pattern), write=False)
+        if self.datastore is not None:
+            out = np.zeros(pattern.nbytes, dtype=np.uint8)
+            for off, ln, buf in pattern.iter_mapped_extents():
+                out[buf : buf + ln] = self.datastore.read(off, ln)
+            return out
+        return None
+
+    # ------------------------------------------------------------------
+    def estimate_extent_time(self, client: Node, ext: Extent) -> float:
+        """Uncontended service time for a contiguous extent (planning aid)."""
+        plan = self._extent_plan(ext)
+        if not plan:
+            return 0.0
+        nic = client.spec.nic_latency + ext.length / client.spec.nic_bandwidth
+        server = max(
+            self.servers[s].service_time(nbytes, reqs) for s, nbytes, reqs in plan
+        )
+        return max(nic, server)
+
+    def server_stats(self) -> list[tuple[int, int, int]]:
+        """``(server_id, bytes_served, requests_served)`` per server."""
+        return [(s.server_id, s.bytes_served, s.requests_served) for s in self.servers]

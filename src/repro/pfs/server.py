@@ -1,0 +1,78 @@
+"""I/O server (OST) model.
+
+Each server owns a FIFO service queue (one request in service at a time by
+default) and charges::
+
+    requests * request_overhead + nbytes / server_bandwidth
+
+The per-request overhead is the mechanism that makes many small requests
+slower than one large request — the inefficiency collective I/O exists to
+remove.
+"""
+
+from __future__ import annotations
+
+from repro.sim import Environment, Resource
+
+__all__ = ["IOServer"]
+
+
+class IOServer:
+    """One parallel-file-system object server.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    server_id:
+        Index within the file system.
+    bandwidth:
+        Streaming bandwidth, bytes/second.
+    request_overhead:
+        Fixed seconds charged per discrete request.
+    queue_depth:
+        Concurrent requests in service (1 = strictly serial disk).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        bandwidth: float,
+        request_overhead: float,
+        queue_depth: int = 1,
+        write_bandwidth_factor: float = 1.0,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if request_overhead < 0:
+            raise ValueError("request_overhead must be >= 0")
+        if not 0 < write_bandwidth_factor <= 1:
+            raise ValueError("write_bandwidth_factor must be in (0, 1]")
+        self.env = env
+        self.server_id = int(server_id)
+        self.bandwidth = float(bandwidth)
+        self.request_overhead = float(request_overhead)
+        self.write_bandwidth_factor = float(write_bandwidth_factor)
+        self.queue = Resource(env, capacity=queue_depth, name=f"ost{server_id}")
+        #: Totals for metrics.
+        self.bytes_served = 0
+        self.requests_served = 0
+
+    def service_time(self, nbytes: int, requests: int = 1, write: bool = False) -> float:
+        """Time to serve `requests` requests totalling `nbytes`."""
+        if nbytes < 0 or requests < 0:
+            raise ValueError("nbytes/requests must be >= 0")
+        bw = self.bandwidth * (self.write_bandwidth_factor if write else 1.0)
+        return requests * self.request_overhead + nbytes / bw
+
+    def serve(self, nbytes: int, requests: int = 1, write: bool = False):
+        """Process generator: queue for the server and hold it for service."""
+        req = self.queue.request()
+        yield req
+        try:
+            yield self.env.timeout(self.service_time(nbytes, requests, write=write))
+            self.bytes_served += nbytes
+            self.requests_served += requests
+        finally:
+            self.queue.release(req)

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel.
+
+The :mod:`repro.sim` package provides the event engine
+(:class:`~repro.sim.engine.Environment`, processes-as-generators), shared
+resources (:class:`~repro.sim.resources.Resource`,
+:class:`~repro.sim.resources.Container`), and seeded RNG streams
+(:class:`~repro.sim.rng.RngFactory`).  Everything above it — the cluster,
+the MPI runtime, the parallel file system — is built from these pieces.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, Request, Resource
+from .rng import RngFactory, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Request",
+    "Resource",
+    "RngFactory",
+    "SimulationError",
+    "Timeout",
+    "derive_seed",
+]

@@ -1,0 +1,474 @@
+"""Deterministic discrete-event simulation kernel.
+
+This module implements the minimal event-driven core that the rest of the
+package runs on: an :class:`Environment` holding a time-ordered event queue,
+:class:`Process` coroutines written as Python generators, and the primitive
+waitable objects (:class:`Timeout`, :class:`Event`, :class:`AllOf`,
+:class:`AnyOf`).
+
+The design follows the well-known SimPy process-interaction style, but is
+implemented from scratch so the whole simulator is self-contained and
+completely deterministic:
+
+* the event queue orders events by ``(time, priority, sequence)``, so ties in
+  simulated time are broken by scheduling order, never by hash order or
+  wall-clock effects;
+* no global state — every simulation owns its :class:`Environment`.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def worker(env, name, delay):
+...     yield env.timeout(delay)
+...     log.append((env.now, name))
+>>> _ = env.process(worker(env, "b", 2.0))
+>>> _ = env.process(worker(env, "a", 1.0))
+>>> env.run()
+>>> log
+[(1.0, 'a'), (2.0, 'b')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. double trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object describing why the process was interrupted.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+#: Event priority for "urgent" events processed before normal ones at the
+#: same simulated time (used internally for process resumption bookkeeping).
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot waitable occurrence.
+
+    An event starts *pending*, becomes *triggered* once a value or an
+    exception is attached and it is scheduled, and finally *processed* when
+    the environment pops it off the queue and runs its callbacks.
+
+    Processes wait on events by ``yield``-ing them.  When the event is
+    processed, each waiting process is resumed with the event's value (or has
+    the event's exception thrown into it).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event when it is processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception has been attached and scheduled."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event carries a value rather than an exception."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded with.
+
+        Raises
+        ------
+        SimulationError
+            If the event has not been triggered yet.
+        """
+        if not self._triggered:
+            raise SimulationError("event value not yet available")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, if any."""
+        return self._exception
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with `value`."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the event.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._exception = exception
+        self.env._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self._triggered = True
+        env._schedule(self, delay=0.0, priority=URGENT)
+
+
+class Process(Event):
+    """A running coroutine (generator) inside the simulation.
+
+    A process *is* an event: it triggers when the underlying generator
+    returns (value = the generator's return value) or raises (the process
+    fails with that exception).  Other processes can therefore ``yield`` a
+    process to join it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: Event this process is currently waiting on (None if runnable).
+        self._target: Optional[Event] = None
+        init = Initialize(env)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting on an event detaches it from that event (the event
+        itself is unaffected and may still fire for other waiters).
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        carrier = Event(self.env)
+        carrier.callbacks.append(self._resume)
+        carrier.fail(Interrupt(cause), priority=URGENT)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the result of `event`."""
+        self._target = None
+        while True:
+            try:
+                if event is None or event._exception is None:
+                    value = None if event is None else event._value
+                    next_target = self._generator.send(value)
+                else:
+                    next_target = self._generator.throw(event._exception)
+            except StopIteration as stop:
+                self._triggered = True
+                self._value = stop.value
+                self.env._schedule(self, delay=0.0)
+                return
+            except BaseException as exc:
+                self._triggered = True
+                self._exception = exc
+                self.env._schedule(self, delay=0.0)
+                if not self.callbacks:
+                    # Nobody is joining this process: surface the crash
+                    # instead of swallowing it silently.
+                    self.env._crashed.append((self, exc))
+                return
+
+            if not isinstance(next_target, Event):
+                exc2 = SimulationError(
+                    f"process {self.name!r} yielded non-event {next_target!r}"
+                )
+                event = Event(self.env)
+                event._triggered = True
+                event._exception = exc2
+                continue
+            if next_target._processed:
+                # Already-processed events resume immediately (same time).
+                event = next_target
+                continue
+            next_target.callbacks.append(self._resume)
+            self._target = next_target
+            return
+
+
+class ConditionError(SimulationError):
+    """A sub-event of a condition failed."""
+
+
+class AllOf(Event):
+    """Composite event that fires when *all* sub-events have fired.
+
+    The value is the list of sub-event values in the order given.  If any
+    sub-event fails, the condition fails with that exception.
+    """
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = 0
+        for ev in self._events:
+            if ev._processed:
+                if ev._exception is not None:
+                    self._check_fail(ev)
+            else:
+                self._remaining += 1
+                ev.callbacks.append(self._on_sub)
+        if self._remaining == 0 and not self._triggered:
+            self.succeed([ev._value for ev in self._events])
+
+    def _check_fail(self, ev: Event) -> None:
+        if not self._triggered:
+            self.fail(ev._exception)  # type: ignore[arg-type]
+
+    def _on_sub(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e._value for e in self._events])
+
+
+class AnyOf(Event):
+    """Composite event that fires when *any* sub-event fires.
+
+    The value is ``(index, value)`` of the first sub-event to fire.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        if not self._events:
+            raise ValueError("AnyOf requires at least one event")
+        for i, ev in enumerate(self._events):
+            if ev._processed:
+                if ev._exception is not None:
+                    self.fail(ev._exception)
+                else:
+                    self.succeed((i, ev._value))
+                return
+            ev.callbacks.append(self._make_cb(i))
+
+    def _make_cb(self, index: int) -> Callable[[Event], None]:
+        def _cb(ev: Event) -> None:
+            if self._triggered:
+                return
+            if ev._exception is not None:
+                self.fail(ev._exception)
+            else:
+                self.succeed((index, ev._value))
+
+        return _cb
+
+
+class Environment:
+    """Owns the simulated clock and the event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (seconds).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        #: Processes that died with an exception while nobody was joining
+        #: them; ``run()`` re-raises the first of these.
+        self._crashed: list[tuple[Process, BaseException]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register `generator` as a new process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event firing `delay` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Return an event firing once all `events` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Return an event firing when the first of `events` fires."""
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # scheduling / execution
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event queue went backwards in time")
+        self._now = time
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        if self._crashed:
+            proc, exc = self._crashed[0]
+            raise SimulationError(
+                f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
+            ) from exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the queue drains;
+            a number
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until that event has been processed and return its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time: Optional[float] = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError("cannot run() into the past")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                return stop_event.value
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event._processed:
+                return stop_event.value
+            raise SimulationError(
+                "run(until=event) exhausted the queue before the event fired "
+                "(deadlock?)"
+            )
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,12 @@
+"""Benchmark workload generators: coll_perf, IOR, and synthetic patterns."""
+
+from .coll_perf import CollPerfWorkload
+from .ior import IORWorkload
+from .synthetic import SkewedWorkload, SmallRequestWorkload
+
+__all__ = [
+    "CollPerfWorkload",
+    "IORWorkload",
+    "SkewedWorkload",
+    "SmallRequestWorkload",
+]

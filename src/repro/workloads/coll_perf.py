@@ -1,0 +1,92 @@
+"""The coll_perf benchmark workload (ROMIO test suite).
+
+coll_perf writes and reads a 3D block-distributed array to a file laid
+out in row-major order of the global array.  The paper runs it with a
+2048x2048x2048 array (4-byte elements, 32 GB) on 120 MPI processes.
+
+:class:`CollPerfWorkload` reproduces the access-pattern generation; the
+paper-scale instance is :meth:`CollPerfWorkload.paper`, and
+:meth:`scaled` shrinks the array for fast benchmark runs while keeping
+the decomposition geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.request import AccessPattern
+from repro.mpi.datatypes import block_decompose_3d, subarray_view_3d
+
+__all__ = ["CollPerfWorkload"]
+
+
+@dataclass(frozen=True)
+class CollPerfWorkload:
+    """3D block-distributed array I/O, row-major file layout.
+
+    Parameters
+    ----------
+    array_shape:
+        Global array dimensions ``(nx, ny, nz)``.
+    n_ranks:
+        MPI processes; the processor grid comes from
+        :func:`~repro.mpi.datatypes.dims_create`.
+    elem_size:
+        Bytes per array element (coll_perf uses 4-byte ints).
+    """
+
+    array_shape: tuple[int, int, int] = (2048, 2048, 2048)
+    n_ranks: int = 120
+    elem_size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.elem_size < 1:
+            raise ValueError("elem_size must be >= 1")
+        if any(d < 1 for d in self.array_shape):
+            raise ValueError(f"bad array shape {self.array_shape}")
+
+    @classmethod
+    def paper(cls) -> "CollPerfWorkload":
+        """The paper's configuration: 2048^3 x 4 B = 32 GB on 120 procs."""
+        return cls(array_shape=(2048, 2048, 2048), n_ranks=120, elem_size=4)
+
+    def scaled(self, factor: int) -> "CollPerfWorkload":
+        """Shrink every dimension by `factor` (for fast benchmark runs)."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        nx, ny, nz = self.array_shape
+        shape = (max(1, nx // factor), max(1, ny // factor), max(1, nz // factor))
+        return CollPerfWorkload(shape, self.n_ranks, self.elem_size)
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def blocks(self) -> list[tuple[tuple[int, int, int], tuple[int, int, int]]]:
+        """Per-rank ``(starts, sub_shape)`` of the decomposition."""
+        return block_decompose_3d(self.array_shape, self.n_ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of the whole array (= bytes moved per collective op)."""
+        nx, ny, nz = self.array_shape
+        return nx * ny * nz * self.elem_size
+
+    def pattern(self, rank: int) -> AccessPattern:
+        """File view of `rank`'s block."""
+        starts, shape = self.blocks[rank]
+        return subarray_view_3d(self.array_shape, shape, starts, self.elem_size)
+
+    def patterns(self) -> list[AccessPattern]:
+        """File views of all ranks."""
+        return [self.pattern(r) for r in range(self.n_ranks)]
+
+    @property
+    def description(self) -> str:
+        """Human-readable label."""
+        nx, ny, nz = self.array_shape
+        return (
+            f"coll_perf {nx}x{ny}x{nz} x {self.elem_size} B "
+            f"({self.total_bytes / 2**20:.0f} MiB) on {self.n_ranks} procs"
+        )

@@ -1,0 +1,135 @@
+"""The IOR benchmark workload (LLNL / ASCI Purple suite).
+
+IOR's shared-file mode writes ``segments`` repetitions of a block cycle:
+in segment ``s``, rank ``r`` owns the contiguous block at
+``(s * P + r) * block_size``.  With one segment the file decomposes
+serially; with several, each rank's blocks interleave with every other
+rank's — the "Interleaved" in IOR's name and the paper's "interleaved
+read and write operations".
+
+The paper runs 32 MB per process at 120 and 1080 processes.
+:class:`IORWorkload` generates the per-rank file views;
+:meth:`IORWorkload.paper` gives the paper-scale instance and
+:meth:`scaled` shrinks it for fast runs.
+
+A ``random`` layout variant shuffles block ownership within each segment
+(seeded), matching IOR's random-offset option.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.cluster.spec import MIB
+from repro.core.request import AccessPattern, Extent
+from repro.mpi.datatypes import vector_view
+
+__all__ = ["IORWorkload"]
+
+Layout = Literal["interleaved", "random"]
+
+
+@dataclass(frozen=True)
+class IORWorkload:
+    """IOR shared-file access-pattern generator.
+
+    Parameters
+    ----------
+    n_ranks:
+        MPI processes.
+    block_size:
+        Contiguous bytes a rank writes per segment.
+    segments:
+        Block cycles; > 1 interleaves ranks' bounding intervals.
+    layout:
+        ``"interleaved"`` (deterministic cycle order) or ``"random"``
+        (block positions shuffled per segment with `seed`).
+    seed:
+        RNG seed for the random layout.
+    """
+
+    n_ranks: int = 120
+    block_size: int = 32 * MIB
+    segments: int = 4
+    layout: Layout = "interleaved"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if self.segments < 1:
+            raise ValueError("segments must be >= 1")
+        if self.layout not in ("interleaved", "random"):
+            raise ValueError(f"bad layout {self.layout!r}")
+
+    @classmethod
+    def paper(cls, n_ranks: int = 120) -> "IORWorkload":
+        """The paper's setup: 32 MB I/O data message per MPI process."""
+        return cls(n_ranks=n_ranks, block_size=8 * MIB, segments=4)
+
+    def scaled(self, factor: int) -> "IORWorkload":
+        """Shrink the per-segment block by `factor`."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        return IORWorkload(
+            n_ranks=self.n_ranks,
+            block_size=max(1, self.block_size // factor),
+            segments=self.segments,
+            layout=self.layout,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_per_rank(self) -> int:
+        """Bytes each rank moves per collective op."""
+        return self.block_size * self.segments
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of the shared file."""
+        return self.bytes_per_rank * self.n_ranks
+
+    def _random_slots(self) -> np.ndarray:
+        """``slots[s, r]`` = cycle position of rank r in segment s."""
+        gen = np.random.default_rng(self.seed)
+        return np.stack(
+            [gen.permutation(self.n_ranks) for _ in range(self.segments)]
+        )
+
+    def pattern(self, rank: int) -> AccessPattern:
+        """File view of `rank`."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        cycle = self.n_ranks * self.block_size
+        if self.layout == "interleaved":
+            return vector_view(
+                offset=rank * self.block_size,
+                count=self.segments,
+                block=self.block_size,
+                stride=cycle,
+            )
+        slots = self._random_slots()
+        extents = sorted(
+            Extent(s * cycle + int(slots[s, rank]) * self.block_size, self.block_size)
+            for s in range(self.segments)
+        )
+        return AccessPattern.from_extents(extents).coalesce()
+
+    def patterns(self) -> list[AccessPattern]:
+        """File views of all ranks."""
+        return [self.pattern(r) for r in range(self.n_ranks)]
+
+    @property
+    def description(self) -> str:
+        """Human-readable label."""
+        return (
+            f"IOR {self.layout} {self.bytes_per_rank / 2**20:.1f} MiB/proc "
+            f"({self.segments} seg x {self.block_size / 2**20:.1f} MiB) "
+            f"on {self.n_ranks} procs"
+        )

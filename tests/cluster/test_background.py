@@ -1,0 +1,114 @@
+"""Tests for the time-varying background memory load."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import BackgroundLoad, Cluster, ClusterSpec, NodeSpec
+from repro.sim import Environment, RngFactory
+
+
+def make_cluster(n_nodes=4, seed=3, capacity=10**9):
+    env = Environment()
+    spec = ClusterSpec(
+        nodes=n_nodes,
+        node=NodeSpec(cores=4, memory_bytes=capacity, memory_bandwidth=1e9,
+                      nic_bandwidth=1e8),
+    )
+    return env, Cluster(env, spec, RngFactory(seed))
+
+
+def test_step_applies_availability():
+    env, cluster = make_cluster()
+    load = BackgroundLoad(cluster, mean_bytes=5e8, sigma_bytes=1e8)
+    levels = load.step()
+    assert (cluster.memory_availability() == levels.astype(np.int64)).all()
+    assert load.updates == 1
+
+
+def test_levels_clipped_to_floor_and_capacity():
+    env, cluster = make_cluster(capacity=10**6)
+    load = BackgroundLoad(
+        cluster, mean_bytes=5e5, sigma_bytes=1e7, floor_bytes=1e3
+    )
+    for _ in range(20):
+        levels = load.step()
+        assert (levels >= 1e3).all()
+        assert (levels <= 10**6).all()
+
+
+def test_mean_reversion_pulls_back():
+    env, cluster = make_cluster()
+    load = BackgroundLoad(
+        cluster, mean_bytes=5e8, sigma_bytes=0, reversion=0.5
+    )
+    load._level = np.full(4, 1e8)  # start far below the mean
+    load.step()
+    assert (load._level > 1e8).all()
+    for _ in range(50):
+        load.step()
+    assert np.allclose(load._level, 5e8, rtol=1e-3)
+
+
+def test_periodic_updates_in_simulation():
+    env, cluster = make_cluster()
+    load = BackgroundLoad(cluster, mean_bytes=5e8, sigma_bytes=1e7, period=0.1)
+    load.start()
+
+    def observer(env):
+        yield env.timeout(1.05)
+
+    p = env.process(observer(env))
+    env.run(until=p)
+    # initial step + ~10 periodic updates
+    assert load.updates >= 10
+
+
+def test_stop_interrupts_cleanly():
+    env, cluster = make_cluster()
+    load = BackgroundLoad(cluster, mean_bytes=5e8, sigma_bytes=1e7, period=0.1)
+    load.start()
+
+    def stopper(env):
+        yield env.timeout(0.35)
+        load.stop()
+
+    env.process(stopper(env))
+    env.run()  # must terminate (no crash, no infinite churn)
+    assert 3 <= load.updates <= 5
+
+
+def test_double_start_rejected():
+    env, cluster = make_cluster()
+    load = BackgroundLoad(cluster, mean_bytes=5e8, sigma_bytes=1e7)
+    load.start()
+    with pytest.raises(RuntimeError):
+        load.start()
+
+
+def test_deterministic_given_seed():
+    def trajectory():
+        env, cluster = make_cluster(seed=11)
+        load = BackgroundLoad(cluster, mean_bytes=5e8, sigma_bytes=1e8)
+        return [load.step().copy() for _ in range(5)]
+
+    a, b = trajectory(), trajectory()
+    for x, y in zip(a, b):
+        assert (x == y).all()
+
+
+def test_per_node_means():
+    env, cluster = make_cluster()
+    means = np.array([1e8, 2e8, 3e8, 4e8])
+    load = BackgroundLoad(cluster, mean_bytes=means, sigma_bytes=0, reversion=1.0)
+    levels = load.step()
+    assert np.allclose(levels, means)
+
+
+def test_validation():
+    env, cluster = make_cluster()
+    with pytest.raises(ValueError):
+        BackgroundLoad(cluster, mean_bytes=1e8, sigma_bytes=-1)
+    with pytest.raises(ValueError):
+        BackgroundLoad(cluster, mean_bytes=1e8, sigma_bytes=0, reversion=0)
+    with pytest.raises(ValueError):
+        BackgroundLoad(cluster, mean_bytes=1e8, sigma_bytes=0, period=0)

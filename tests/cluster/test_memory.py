@@ -1,0 +1,105 @@
+"""Tests for the node memory model."""
+
+import pytest
+
+from repro.cluster.memory import MemoryModel
+
+
+def test_alloc_within_available_not_paged():
+    mem = MemoryModel(capacity_bytes=100, available_bytes=50)
+    a = mem.alloc(40)
+    assert not a.paged
+    assert mem.committed == 40
+    assert mem.free_available == 10
+
+
+def test_alloc_beyond_available_paged():
+    mem = MemoryModel(capacity_bytes=100, available_bytes=50)
+    a = mem.alloc(60)
+    assert a.paged
+    assert mem.paged_alloc_count == 1
+
+
+def test_second_alloc_pages_when_cumulative_exceeds():
+    mem = MemoryModel(capacity_bytes=100, available_bytes=50)
+    a = mem.alloc(30)
+    b = mem.alloc(30)
+    assert not a.paged
+    assert b.paged
+
+
+def test_zero_alloc_never_paged():
+    mem = MemoryModel(capacity_bytes=10, available_bytes=0)
+    a = mem.alloc(0)
+    assert not a.paged
+
+
+def test_free_restores_and_double_free_rejected():
+    mem = MemoryModel(capacity_bytes=100)
+    a = mem.alloc(70)
+    mem.free(a)
+    assert mem.committed == 0
+    with pytest.raises(ValueError):
+        mem.free(a)
+
+
+def test_peak_tracks_high_water_mark():
+    mem = MemoryModel(capacity_bytes=100)
+    a = mem.alloc(70)
+    mem.free(a)
+    mem.alloc(10)
+    assert mem.peak_committed == 70
+
+
+def test_available_clipped_to_capacity():
+    mem = MemoryModel(capacity_bytes=100, available_bytes=500)
+    assert mem.available == 100
+
+
+def test_set_available():
+    mem = MemoryModel(capacity_bytes=100, available_bytes=100)
+    mem.set_available(25)
+    assert mem.would_page(30)
+    assert not mem.would_page(25)
+    with pytest.raises(ValueError):
+        mem.set_available(-1)
+
+
+def test_copy_time_penalty():
+    mem = MemoryModel(capacity_bytes=100, paging_penalty=4.0)
+    base = mem.copy_time(1000, bandwidth=100.0)
+    assert base == pytest.approx(10.0)
+    assert mem.copy_time(1000, bandwidth=100.0, paged=True) == pytest.approx(40.0)
+
+
+def test_current_paging_factor_grades_with_overcommit():
+    mem = MemoryModel(capacity_bytes=1000, available_bytes=100, paging_penalty=16.0)
+    assert mem.current_paging_factor == 1.0
+    mem.alloc(100)  # exactly fits
+    assert mem.current_paging_factor == 1.0
+    mem.alloc(100)  # 50% of committed memory is overcommitted
+    assert mem.current_paging_factor == pytest.approx(1 + 15 * 0.5)
+    mem.alloc(800)  # 90% overcommitted
+    assert mem.current_paging_factor == pytest.approx(1 + 15 * 0.9)
+    assert not MemoryModel(capacity_bytes=10).overcommitted
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MemoryModel(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        MemoryModel(capacity_bytes=10, paging_penalty=0.9)
+    with pytest.raises(ValueError):
+        MemoryModel(capacity_bytes=10, available_bytes=-5)
+    mem = MemoryModel(capacity_bytes=10)
+    with pytest.raises(ValueError):
+        mem.alloc(-1)
+    with pytest.raises(ValueError):
+        mem.copy_time(10, bandwidth=0)
+
+
+def test_alloc_count():
+    mem = MemoryModel(capacity_bytes=100)
+    mem.alloc(1)
+    mem.alloc(2)
+    assert mem.alloc_count == 2

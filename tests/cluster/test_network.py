@@ -1,0 +1,181 @@
+"""Tests for node/network timing and contention behaviour."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.sim import Environment, RngFactory
+
+
+def make_cluster(n_nodes=2, **node_kwargs):
+    env = Environment()
+    defaults = dict(
+        cores=4,
+        memory_bytes=1000,
+        memory_bandwidth=100.0,
+        memory_channels=2,
+        nic_bandwidth=10.0,
+        nic_latency=1.0,
+    )
+    defaults.update(node_kwargs)
+    spec = ClusterSpec(nodes=n_nodes, node=NodeSpec(**defaults))
+    return env, Cluster(env, spec, RngFactory(0))
+
+
+def test_inter_node_transfer_time():
+    env, cluster = make_cluster()
+
+    def proc():
+        yield from cluster.network.transfer(cluster.nodes[0], cluster.nodes[1], 100)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    # latency 1 + 100 bytes / 10 B/s = 11s
+    assert p.value == pytest.approx(11.0)
+    assert cluster.network.inter_node_bytes == 100
+    assert cluster.network.inter_node_messages == 1
+
+
+def test_intra_node_transfer_uses_memory_not_nic():
+    env, cluster = make_cluster()
+
+    def proc():
+        yield from cluster.network.transfer(cluster.nodes[0], cluster.nodes[0], 100)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    # channel bw = 100/2 = 50 B/s -> 2s + tiny latency
+    assert p.value == pytest.approx(2.0, rel=1e-3)
+    assert cluster.network.inter_node_bytes == 0
+    assert cluster.network.intra_node_bytes == 100
+
+
+def test_many_to_one_serializes_at_receiver_nic():
+    env, cluster = make_cluster(n_nodes=3)
+    times = []
+
+    def sender(src_id):
+        yield from cluster.network.transfer(
+            cluster.nodes[src_id], cluster.nodes[2], 100
+        )
+        times.append(env.now)
+
+    env.process(sender(0))
+    env.process(sender(1))
+    env.run()
+    # each transfer holds receiver rx for ~11s; second must wait
+    assert max(times) >= 21.0
+
+
+def test_disjoint_pairs_proceed_in_parallel():
+    env, cluster = make_cluster(n_nodes=4)
+    times = []
+
+    def sender(src_id, dst_id):
+        yield from cluster.network.transfer(
+            cluster.nodes[src_id], cluster.nodes[dst_id], 100
+        )
+        times.append(env.now)
+
+    env.process(sender(0, 1))
+    env.process(sender(2, 3))
+    env.run()
+    assert max(times) == pytest.approx(11.0)
+
+
+def test_paged_destination_slows_wire_time():
+    env, cluster = make_cluster()
+    # drive the destination node into full overcommit: graded paging
+    # factor reaches the configured penalty (4.0)
+    cluster.nodes[1].memory.set_available(0)
+    cluster.nodes[1].memory.alloc(500)
+
+    def proc():
+        yield from cluster.network.transfer(
+            cluster.nodes[0], cluster.nodes[1], 100, paged_dst=True
+        )
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    # paging_penalty 4.0 at full overcommit: 1 + 4*10 = 41
+    assert p.value == pytest.approx(41.0)
+
+
+def test_paged_flag_without_overcommit_is_free():
+    env, cluster = make_cluster()
+
+    def proc():
+        yield from cluster.network.transfer(
+            cluster.nodes[0], cluster.nodes[1], 100, paged_dst=True
+        )
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    # destination fits in available memory: graded factor is 1.0
+    assert p.value == pytest.approx(11.0)
+
+
+def test_memcopy_channel_contention():
+    env, cluster = make_cluster(memory_channels=1)
+    times = []
+
+    def copier():
+        yield from cluster.nodes[0].memcopy(100)
+        times.append(env.now)
+
+    env.process(copier())
+    env.process(copier())
+    env.run()
+    # one channel at 100 B/s -> copies serialize: 1s then 2s
+    assert sorted(times) == pytest.approx([1.0, 2.0])
+
+
+def test_negative_transfer_rejected():
+    env, cluster = make_cluster()
+
+    def proc():
+        yield from cluster.network.transfer(cluster.nodes[0], cluster.nodes[1], -1)
+
+    env.process(proc())
+    with pytest.raises(Exception):
+        env.run()
+
+
+def test_estimate_matches_uncontended_run():
+    env, cluster = make_cluster()
+    est = cluster.network.estimate_transfer_time(cluster.nodes[0], cluster.nodes[1], 100)
+
+    def proc():
+        yield from cluster.network.transfer(cluster.nodes[0], cluster.nodes[1], 100)
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    assert p.value == pytest.approx(est)
+
+
+def test_memory_availability_sampling_deterministic():
+    env1, c1 = make_cluster(n_nodes=4, memory_bytes=10**9)
+    env2, c2 = make_cluster(n_nodes=4, memory_bytes=10**9)
+    d1 = c1.sample_memory_availability(mean_bytes=64e6, sigma_bytes=10e6)
+    d2 = c2.sample_memory_availability(mean_bytes=64e6, sigma_bytes=10e6)
+    assert (d1 == d2).all()
+    assert (c1.memory_availability() == c2.memory_availability()).all()
+
+
+def test_memory_availability_clipped_to_floor_and_capacity():
+    env, cluster = make_cluster(n_nodes=8, memory_bytes=10**6)
+    draws = cluster.sample_memory_availability(
+        mean_bytes=5e5, sigma_bytes=1e6, floor_bytes=1e3
+    )
+    assert (draws >= 1e3).all()
+    assert (draws <= 10**6).all()
+
+
+def test_set_memory_availability_validates_length():
+    env, cluster = make_cluster(n_nodes=3)
+    with pytest.raises(ValueError):
+        cluster.set_memory_availability([1, 2])

@@ -1,0 +1,74 @@
+"""Tests for rank placement policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import (
+    block_placement,
+    ranks_on_node,
+    round_robin_placement,
+    validate_placement,
+)
+
+
+def test_block_placement_fills_in_order():
+    assert block_placement(6, 3, 2) == [0, 0, 1, 1, 2, 2]
+
+
+def test_block_placement_partial_last_node():
+    assert block_placement(5, 3, 2) == [0, 0, 1, 1, 2]
+
+
+def test_round_robin_placement_cycles():
+    assert round_robin_placement(6, 3, 2) == [0, 1, 2, 0, 1, 2]
+
+
+def test_placement_rejects_oversubscription():
+    with pytest.raises(ValueError):
+        block_placement(7, 3, 2)
+    with pytest.raises(ValueError):
+        round_robin_placement(0, 3, 2)
+
+
+def test_ranks_on_node():
+    placement = block_placement(6, 3, 2)
+    assert ranks_on_node(placement, 1) == [2, 3]
+    assert ranks_on_node(placement, 5) == []
+
+
+def test_validate_placement_accepts_legal():
+    validate_placement([0, 1, 0, 1], n_nodes=2, cores_per_node=2)
+
+
+def test_validate_placement_rejects_bad_node():
+    with pytest.raises(ValueError):
+        validate_placement([0, 5], n_nodes=2, cores_per_node=2)
+
+
+def test_validate_placement_rejects_oversubscribed():
+    with pytest.raises(ValueError):
+        validate_placement([0, 0, 0], n_nodes=2, cores_per_node=2)
+
+
+@given(
+    n_nodes=st.integers(1, 20),
+    cores=st.integers(1, 16),
+    data=st.data(),
+)
+def test_placements_always_valid_property(n_nodes, cores, data):
+    n_ranks = data.draw(st.integers(1, n_nodes * cores))
+    for policy in (block_placement, round_robin_placement):
+        placement = policy(n_ranks, n_nodes, cores)
+        assert len(placement) == n_ranks
+        validate_placement(placement, n_nodes, cores)
+
+
+@given(n_nodes=st.integers(1, 10), cores=st.integers(1, 8))
+def test_block_placement_is_monotone(n_nodes, cores):
+    placement = block_placement(n_nodes * cores, n_nodes, cores)
+    assert placement == sorted(placement)
+    # block placement keeps whole nodes contiguous in rank order — the
+    # property group division relies on
+    for node in range(n_nodes):
+        ranks = ranks_on_node(placement, node)
+        assert ranks == list(range(min(ranks), max(ranks) + 1))

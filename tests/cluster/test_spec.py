@@ -1,0 +1,127 @@
+"""Tests for hardware specs and Table 1 data."""
+
+import pytest
+
+from repro.cluster import (
+    GIB,
+    MIB,
+    TABLE1_ROWS,
+    ClusterSpec,
+    NodeSpec,
+    StorageSpec,
+    exascale_2018,
+    memory_per_core_factor,
+    petascale_2010,
+    ross13_testbed,
+)
+
+
+def test_node_spec_defaults_match_testbed():
+    spec = NodeSpec()
+    assert spec.cores == 12
+    assert spec.memory_bytes == 24 * GIB
+    assert spec.memory_per_core == pytest.approx(2 * GIB)
+    assert spec.bandwidth_per_core == pytest.approx(25e9 / 12)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cores": 0},
+        {"memory_bytes": 0},
+        {"memory_bandwidth": 0},
+        {"nic_bandwidth": -1},
+        {"memory_channels": 0},
+        {"nic_latency": -1e-6},
+    ],
+)
+def test_node_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        NodeSpec(**kwargs)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"servers": 0},
+        {"server_bandwidth": 0},
+        {"request_overhead": -1},
+        {"stripe_size": 0},
+    ],
+)
+def test_storage_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        StorageSpec(**kwargs)
+
+
+def test_storage_aggregate_bandwidth():
+    s = StorageSpec(servers=4, server_bandwidth=100e6)
+    assert s.aggregate_bandwidth == pytest.approx(400e6)
+
+
+def test_cluster_spec_totals():
+    spec = ClusterSpec(nodes=10, node=NodeSpec(cores=12, memory_bytes=24 * GIB))
+    assert spec.total_cores == 120
+    assert spec.total_memory == 240 * GIB
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(paging_penalty=0.5)
+
+
+def test_with_nodes_scales():
+    spec = ross13_testbed(nodes=10)
+    bigger = spec.with_nodes(90)
+    assert bigger.nodes == 90
+    assert bigger.node == spec.node
+
+
+def test_ross13_testbed_paper_run_sizes():
+    # the paper runs 120 and 1080 processes on 12-core nodes
+    assert ross13_testbed(10).total_cores == 120
+    assert ross13_testbed(90).total_cores == 1080
+    assert ross13_testbed().storage.stripe_size == 1 * MIB
+
+
+def test_table1_has_all_eleven_rows():
+    assert len(TABLE1_ROWS) == 11
+    names = [row[0] for row in TABLE1_ROWS]
+    assert "System Memory" in names
+    assert "Total concurrency" in names
+    assert "I/O Bandwidth" in names
+
+
+def test_table1_factors_match_paper():
+    factors = {row[0]: row[3] for row in TABLE1_ROWS}
+    assert factors["System Peak"] == 500
+    assert factors["Node Memory BW"] == 16
+    assert factors["Total concurrency"] == 4444
+    assert factors["I/O Bandwidth"] == 100
+
+
+def test_memory_per_core_formula_shrinks():
+    # M=33, SZ=50, NC=83 from Table 1 -> memory per core drops ~125x
+    f = memory_per_core_factor(33, 50, 83)
+    assert f == pytest.approx(33 / (50 * 83))
+    assert f < 0.01
+
+
+def test_memory_per_core_formula_validation():
+    with pytest.raises(ValueError):
+        memory_per_core_factor(33, 0, 83)
+
+
+def test_exascale_preset_memory_per_core_megabytes():
+    # Table 1's argument: memory per core drops to megabytes at exascale.
+    spec = exascale_2018()
+    assert spec.node.memory_per_core < 16 * MIB
+    assert petascale_2010().node.memory_per_core > 1 * GIB
+
+
+def test_specs_are_frozen():
+    spec = NodeSpec()
+    with pytest.raises(Exception):
+        spec.cores = 100  # type: ignore[misc]

@@ -1,0 +1,127 @@
+"""Tests for the two-level (racked) network topology."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec
+from repro.sim import Environment, RngFactory
+
+
+def make_racked(n_nodes=4, rack_size=2, uplink=5.0, nic=10.0):
+    env = Environment()
+    spec = ClusterSpec(
+        nodes=n_nodes,
+        node=NodeSpec(
+            cores=4,
+            memory_bytes=1000,
+            memory_bandwidth=100.0,
+            memory_channels=2,
+            nic_bandwidth=nic,
+            nic_latency=1.0,
+        ),
+        rack_size=rack_size,
+        uplink_bandwidth=uplink,
+    )
+    return env, Cluster(env, spec, RngFactory(0))
+
+
+def run_transfer(env, cluster, src, dst, nbytes):
+    def proc():
+        yield from cluster.network.transfer(
+            cluster.nodes[src], cluster.nodes[dst], nbytes
+        )
+        return env.now
+
+    p = env.process(proc())
+    env.run()
+    return p.value
+
+
+def test_rack_of():
+    env, cluster = make_racked(n_nodes=5, rack_size=2)
+    racks = [cluster.network.rack_of(n) for n in cluster.nodes]
+    assert racks == [0, 0, 1, 1, 2]
+
+
+def test_flat_topology_has_no_racks():
+    env = Environment()
+    cluster = Cluster(env, ClusterSpec(nodes=2), RngFactory(0))
+    assert cluster.network.rack_of(cluster.nodes[0]) is None
+    assert cluster.network.inter_rack_bytes == 0
+
+
+def test_intra_rack_transfer_at_nic_speed():
+    env, cluster = make_racked()
+    t = run_transfer(env, cluster, 0, 1, 100)
+    # latency 1 + 100/10 = 11; no uplink slowdown
+    assert t == pytest.approx(11.0)
+    assert cluster.network.inter_rack_bytes == 0
+
+
+def test_inter_rack_transfer_at_uplink_speed():
+    env, cluster = make_racked()
+    t = run_transfer(env, cluster, 0, 2, 100)
+    # latency 1 + 100/5 (uplink slower than NICs) = 21
+    assert t == pytest.approx(21.0)
+    assert cluster.network.inter_rack_bytes == 100
+
+
+def test_uplink_serializes_cross_rack_flows():
+    env, cluster = make_racked(n_nodes=4, rack_size=2)
+    times = []
+
+    def sender(src, dst):
+        yield from cluster.network.transfer(
+            cluster.nodes[src], cluster.nodes[dst], 100
+        )
+        times.append(env.now)
+
+    # two flows out of rack 0 into rack 1: distinct NICs, shared uplinks
+    env.process(sender(0, 2))
+    env.process(sender(1, 3))
+    env.run()
+    assert max(times) >= 41.0  # second flow waits for the uplink
+
+
+def test_intra_rack_flows_unaffected_by_uplink():
+    env, cluster = make_racked(n_nodes=4, rack_size=2)
+    times = []
+
+    def sender(src, dst):
+        yield from cluster.network.transfer(
+            cluster.nodes[src], cluster.nodes[dst], 100
+        )
+        times.append(env.now)
+
+    env.process(sender(0, 1))
+    env.process(sender(2, 3))
+    env.run()
+    assert max(times) == pytest.approx(11.0)
+
+
+def test_no_deadlock_with_bidirectional_cross_rack_traffic():
+    env, cluster = make_racked(n_nodes=4, rack_size=2)
+    done = []
+
+    def sender(src, dst, n):
+        yield from cluster.network.transfer(cluster.nodes[src], cluster.nodes[dst], n)
+        done.append((src, dst))
+
+    # crossing flows in both directions, plus intra-rack noise
+    env.process(sender(0, 2, 300))
+    env.process(sender(2, 0, 300))
+    env.process(sender(1, 3, 300))
+    env.process(sender(3, 1, 300))
+    env.process(sender(0, 1, 300))
+    env.run()
+    assert len(done) == 5
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=4, rack_size=2)  # uplink missing
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=4, uplink_bandwidth=1e9)  # rack_size missing
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=4, rack_size=0, uplink_bandwidth=1e9)
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=4, rack_size=2, uplink_bandwidth=0)

@@ -1,0 +1,194 @@
+"""Tests for aggregation group division (paper §3.1, Figure 4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.group_division import divide_groups
+from repro.core.request import AccessPattern
+from repro.mpi import vector_view
+
+
+def serial_patterns(n_ranks, bytes_per_rank=100):
+    """Rank r owns [r*b, (r+1)*b) — serially distributed data."""
+    return [
+        AccessPattern.contiguous(r * bytes_per_rank, bytes_per_rank)
+        for r in range(n_ranks)
+    ]
+
+
+def interleaved_patterns(n_ranks, xfer=10, blocks=8):
+    """IOR-style: rank r owns blocks at (k*P + r)*xfer."""
+    return [
+        vector_view(offset=r * xfer, count=blocks, block=xfer, stride=n_ranks * xfer)
+        for r in range(n_ranks)
+    ]
+
+
+def check_tiling(groups, patterns):
+    """Regions disjoint and tiling; every rank with data in >= 1 group."""
+    regions = [g.region for g in groups]
+    for a, b in zip(regions, regions[1:]):
+        assert a.end == b.offset, "regions must tile without gaps"
+    active = [p for p in patterns if not p.empty]
+    assert regions[0].offset == min(p.start for p in active)
+    assert regions[-1].end == max(p.end for p in active)
+    covered_ranks = set()
+    for g in groups:
+        covered_ranks.update(g.ranks)
+    expected = {r for r, p in enumerate(patterns) if not p.empty}
+    assert covered_ranks == expected
+
+
+def test_paper_figure4_example():
+    """9 processes on 3 nodes, serial data: groups cut at node boundaries,
+    group one extended to the ending offset of node one's last process."""
+    patterns = serial_patterns(9, bytes_per_rank=100)
+    placement = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+    groups = divide_groups(patterns, placement, msg_group=250)
+    assert len(groups) == 3
+    assert groups[0].ranks == (0, 1, 2)
+    assert groups[0].region.offset == 0
+    assert groups[0].region.end == 300  # end of rank 2 (node 0's last proc)
+    assert groups[1].ranks == (3, 4, 5)
+    assert groups[2].ranks == (6, 7, 8)
+    check_tiling(groups, patterns)
+
+
+def test_node_boundary_blocks_midnode_cut():
+    """Even when Msg_group is reached mid-node, the cut waits for the
+    node boundary so one node never feeds two groups."""
+    patterns = serial_patterns(9, bytes_per_rank=100)
+    placement = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+    groups = divide_groups(patterns, placement, msg_group=150)
+    # cuts only at rank 2/3 and 5/6 boundaries
+    assert [g.ranks for g in groups] == [(0, 1, 2), (3, 4, 5), (6, 7, 8)]
+
+
+def test_msg_group_larger_than_node_spans_nodes():
+    patterns = serial_patterns(9, bytes_per_rank=100)
+    placement = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+    groups = divide_groups(patterns, placement, msg_group=550)
+    assert len(groups) == 2
+    assert groups[0].ranks == (0, 1, 2, 3, 4, 5)
+    check_tiling(groups, patterns)
+
+
+def test_single_group_when_msg_group_huge():
+    patterns = serial_patterns(6)
+    placement = [0, 0, 0, 1, 1, 1]
+    groups = divide_groups(patterns, placement, msg_group=10**9)
+    assert len(groups) == 1
+    assert groups[0].ranks == (0, 1, 2, 3, 4, 5)
+
+
+def test_interleaved_falls_back_to_chunking():
+    """IOR-interleaved patterns span the whole file per rank; auto mode
+    must fall back to fixed-size chunks."""
+    patterns = interleaved_patterns(n_ranks=4, xfer=10, blocks=8)
+    placement = [0, 0, 1, 1]
+    groups = divide_groups(patterns, placement, msg_group=80)
+    assert len(groups) > 1
+    for g in groups:
+        assert g.region.length <= 80
+        # every rank has data in every chunk for this pattern
+        assert g.ranks == (0, 1, 2, 3)
+    check_tiling(groups, patterns)
+
+
+def test_interleaved_chunks_stripe_aligned():
+    patterns = interleaved_patterns(n_ranks=4, xfer=10, blocks=100)
+    placement = [0, 0, 1, 1]
+    groups = divide_groups(
+        patterns, placement, msg_group=100, stripe_size=64, mode="interleaved"
+    )
+    for g in groups[:-1]:
+        assert g.region.end % 64 == 0
+
+
+def test_forced_serial_mode():
+    patterns = serial_patterns(4)
+    groups = divide_groups(patterns, [0, 0, 1, 1], msg_group=150, mode="serial")
+    assert len(groups) == 2
+
+
+def test_empty_patterns_skipped():
+    patterns = [
+        AccessPattern.contiguous(0, 100),
+        AccessPattern(()),
+        AccessPattern.contiguous(100, 100),
+    ]
+    groups = divide_groups(patterns, [0, 0, 1], msg_group=50)
+    all_ranks = set()
+    for g in groups:
+        all_ranks.update(g.ranks)
+    assert 1 not in all_ranks
+
+
+def test_no_data_returns_empty():
+    patterns = [AccessPattern(()), AccessPattern(())]
+    assert divide_groups(patterns, [0, 0], msg_group=100) == []
+
+
+def test_gap_between_ranks_folded():
+    """A file gap between rank data stays inside the tiling."""
+    patterns = [
+        AccessPattern.contiguous(0, 100),
+        AccessPattern.contiguous(10_000, 100),
+    ]
+    groups = divide_groups(patterns, [0, 1], msg_group=50)
+    check_tiling(groups, patterns)
+
+
+def test_validation():
+    patterns = serial_patterns(2)
+    with pytest.raises(ValueError):
+        divide_groups(patterns, [0], msg_group=100)
+    with pytest.raises(ValueError):
+        divide_groups(patterns, [0, 0], msg_group=0)
+
+
+@given(
+    n_nodes=st.integers(1, 6),
+    ranks_per_node=st.integers(1, 4),
+    bytes_per_rank=st.integers(1, 500),
+    msg_group=st.integers(1, 3000),
+)
+@settings(max_examples=120, deadline=None)
+def test_serial_division_properties(n_nodes, ranks_per_node, bytes_per_rank, msg_group):
+    n = n_nodes * ranks_per_node
+    patterns = serial_patterns(n, bytes_per_rank)
+    placement = [r // ranks_per_node for r in range(n)]
+    groups = divide_groups(patterns, placement, msg_group=msg_group)
+    check_tiling(groups, patterns)
+    # serial data: every rank is in exactly one group
+    seen: dict[int, int] = {}
+    for g in groups:
+        for r in g.ranks:
+            assert r not in seen, "rank split across groups in serial mode"
+            seen[r] = g.group_id
+    # node-boundary property: a node's ranks all map to one group
+    for node in range(n_nodes):
+        node_groups = {seen[r] for r in range(n) if placement[r] == node}
+        assert len(node_groups) == 1
+
+
+@given(
+    n_ranks=st.integers(2, 8),
+    xfer=st.integers(1, 20),
+    blocks=st.integers(2, 10),
+    msg_group=st.integers(1, 500),
+)
+@settings(max_examples=80, deadline=None)
+def test_interleaved_division_properties(n_ranks, xfer, blocks, msg_group):
+    patterns = interleaved_patterns(n_ranks, xfer, blocks)
+    placement = [0] * n_ranks
+    groups = divide_groups(patterns, placement, msg_group=msg_group)
+    check_tiling(groups, patterns)
+    # group byte conservation: per-group member bytes sum to total
+    total = sum(p.nbytes for p in patterns)
+    got = sum(
+        patterns[r].bytes_in(g.region.offset, g.region.end)
+        for g in groups
+        for r in g.ranks
+    )
+    assert got == total

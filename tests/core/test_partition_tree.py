@@ -1,0 +1,177 @@
+"""Tests for the binary partition tree and the Figure 5 remerge cases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition_tree import PartitionTree
+from repro.core.request import Extent
+
+
+def dense(lo, hi):
+    """Every byte of the region is requested."""
+    return hi - lo
+
+
+def make_tree(length=1024, msg_ind=100, stripe=0, offset=0, data=dense):
+    return PartitionTree(
+        Extent(offset, length), data, msg_ind=msg_ind, stripe_size=stripe
+    )
+
+
+class TestConstruction:
+    def test_small_region_single_leaf(self):
+        tree = make_tree(length=50, msg_ind=100)
+        assert tree.n_leaves == 1
+        assert tree.leaves()[0].extent == Extent(0, 50)
+
+    def test_dense_region_splits_to_msg_ind(self):
+        tree = make_tree(length=1024, msg_ind=128)
+        leaves = tree.leaves()
+        assert len(leaves) == 8
+        assert all(leaf.extent.length <= 128 for leaf in leaves)
+        tree.check_invariant()
+
+    def test_termination_by_data_not_width(self):
+        # only the first 100 bytes carry data: one split suffices even
+        # though the region is wide
+        def sparse(lo, hi):
+            return max(0, min(hi, 100) - lo)
+
+        tree = PartitionTree(Extent(0, 1 << 20), sparse, msg_ind=50)
+        leaves = tree.leaves()
+        # leaves covering byte ranges beyond 100 hold no data and stay fat
+        for leaf in leaves:
+            assert sparse(leaf.extent.offset, leaf.extent.end) <= 50
+        tree.check_invariant()
+
+    def test_stripe_aligned_cuts(self):
+        tree = make_tree(length=1000, msg_ind=100, stripe=64)
+        for leaf in tree.leaves()[:-1]:
+            assert leaf.extent.end % 64 == 0 or leaf.extent.end == 1000
+
+    def test_offset_region(self):
+        tree = make_tree(length=512, msg_ind=100, offset=777)
+        tree.check_invariant()
+        assert tree.leaves()[0].extent.offset == 777
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionTree(Extent(0, 0), dense, msg_ind=10)
+        with pytest.raises(ValueError):
+            make_tree(msg_ind=0)
+        with pytest.raises(ValueError):
+            PartitionTree(Extent(0, 10), dense, msg_ind=1, min_width=1)
+
+    def test_min_width_stops_recursion(self):
+        tree = PartitionTree(Extent(0, 16), dense, msg_ind=1, min_width=4)
+        assert all(leaf.extent.length >= 2 for leaf in tree.leaves())
+        tree.check_invariant()
+
+
+class TestRemerge:
+    def test_remerge_case1_sibling_leaf(self):
+        """Figure 5a: sibling B is a leaf; parent becomes the merged leaf."""
+        tree = make_tree(length=400, msg_ind=100)
+        leaves = tree.leaves()
+        a = leaves[0]
+        b = leaves[1]
+        assert a.sibling() is b  # adjacent leaves sharing a parent
+        absorber = tree.remerge(a)
+        assert absorber.extent == Extent(0, 200)
+        assert tree.n_leaves == len(leaves) - 1
+        tree.check_invariant()
+
+    def test_remerge_case2_dfs_left(self):
+        """Figure 5b: sibling is internal; DFS finds the adjacent leaf."""
+        # data density: left half light (no split), right half heavy
+        def data(lo, hi):
+            light = max(0, min(hi, 512) - lo) // 8
+            heavy = max(0, hi - max(lo, 512))
+            return light + heavy
+
+        tree = PartitionTree(Extent(0, 1024), data, msg_ind=128)
+        leaves = tree.leaves()
+        a = leaves[0]  # the light left half [0, 512)
+        assert a.extent == Extent(0, 512)
+        assert not a.sibling().is_leaf  # right side was split further
+        n_before = tree.n_leaves
+        absorber = tree.remerge(a)
+        # the absorbing leaf is A's right neighbour: it must now start at 0
+        assert absorber.extent.offset == 0
+        assert tree.n_leaves == n_before - 1
+        tree.check_invariant()
+
+    def test_remerge_case2_dfs_right(self):
+        """Departing right leaf is absorbed by its left neighbour."""
+        def data(lo, hi):
+            heavy = max(0, min(hi, 512) - lo)
+            light = max(0, hi - max(lo, 512)) // 8
+            return heavy + light
+
+        tree = PartitionTree(Extent(0, 1024), data, msg_ind=128)
+        leaves = tree.leaves()
+        a = leaves[-1]  # the light right half
+        assert a.extent == Extent(512, 512)
+        assert not a.sibling().is_leaf
+        absorber = tree.remerge(a)
+        assert absorber.extent.end == 1024
+        tree.check_invariant()
+
+    def test_remerge_root_rejected(self):
+        tree = make_tree(length=50, msg_ind=100)  # single leaf
+        with pytest.raises(ValueError):
+            tree.remerge(tree.leaves()[0])
+
+    def test_remerge_internal_rejected(self):
+        tree = make_tree(length=400, msg_ind=100)
+        with pytest.raises(ValueError):
+            tree.remerge(tree.root)
+
+    def test_remerge_until_one_leaf(self):
+        tree = make_tree(length=1024, msg_ind=64)
+        while tree.n_leaves > 1:
+            tree.remerge(tree.leaves()[0])
+            tree.check_invariant()
+        assert tree.leaves()[0].extent == Extent(0, 1024)
+
+    def test_neighbour_adjacency(self):
+        """The absorber is always file-adjacent to the departing leaf."""
+        tree = make_tree(length=2048, msg_ind=100)
+        leaves = tree.leaves()
+        victim = leaves[3]
+        lo, hi = victim.extent.offset, victim.extent.end
+        absorber = tree.remerge(victim)
+        assert absorber.extent.offset == lo or absorber.extent.end == hi  # swallowed
+        assert absorber.extent.contains(lo) or absorber.extent.contains(hi - 1)
+
+
+@given(
+    length=st.integers(2, 4096),
+    msg_ind=st.integers(1, 512),
+    stripe=st.sampled_from([0, 16, 64]),
+    seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_partition_invariant_under_random_remerges(length, msg_ind, stripe, seed):
+    """Leaves always partition the region, through any remerge sequence."""
+    tree = PartitionTree(Extent(0, length), dense, msg_ind=msg_ind, stripe_size=stripe)
+    tree.check_invariant()
+    while tree.n_leaves > 1:
+        leaves = tree.leaves()
+        victim = leaves[seed.randrange(len(leaves))]
+        tree.remerge(victim)
+        tree.check_invariant()
+    assert tree.leaves()[0].extent == Extent(0, length)
+
+
+@given(
+    length=st.integers(2, 8192),
+    msg_ind=st.integers(1, 1024),
+)
+@settings(max_examples=100, deadline=None)
+def test_leaf_data_bounded_by_msg_ind_or_min_width(length, msg_ind):
+    """Every leaf holds <= msg_ind data, unless width hit the floor."""
+    tree = PartitionTree(Extent(0, length), dense, msg_ind=msg_ind, min_width=2)
+    for leaf in tree.leaves():
+        data = dense(leaf.extent.offset, leaf.extent.end)
+        assert data <= msg_ind or leaf.extent.length < 2

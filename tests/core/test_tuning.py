@@ -1,0 +1,126 @@
+"""Tests for the parameter-tuning sweeps."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, StorageSpec
+from repro.core.tuning import (
+    measure_node_throughput,
+    measure_system_throughput,
+    tune,
+    tune_node,
+    tune_system,
+)
+
+
+def small_spec(nic_bandwidth=1e8, servers=4, server_bandwidth=1e8,
+               request_overhead=1e-4):
+    return ClusterSpec(
+        nodes=8,
+        node=NodeSpec(
+            cores=4,
+            memory_bytes=10**9,
+            memory_bandwidth=1e9,
+            memory_channels=2,
+            nic_bandwidth=nic_bandwidth,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=servers,
+            server_bandwidth=server_bandwidth,
+            request_overhead=request_overhead,
+            stripe_size=4096,
+        ),
+    )
+
+
+def test_node_throughput_positive_and_bounded():
+    spec = small_spec()
+    t = measure_node_throughput(spec, n_aggs=1, msg_size=65536)
+    assert 0 < t <= spec.node.nic_bandwidth * 1.01
+
+
+def test_more_aggregators_do_not_hurt_node_throughput():
+    spec = small_spec()
+    t1 = measure_node_throughput(spec, n_aggs=1, msg_size=16384)
+    t2 = measure_node_throughput(spec, n_aggs=4, msg_size=16384)
+    assert t2 >= t1 * 0.99
+
+
+def test_larger_messages_amortize_overhead():
+    spec = small_spec(request_overhead=1e-2)
+    small = measure_node_throughput(spec, n_aggs=1, msg_size=4096)
+    large = measure_node_throughput(spec, n_aggs=1, msg_size=262144)
+    assert large > small
+
+
+def test_measure_validation():
+    spec = small_spec()
+    with pytest.raises(ValueError):
+        measure_node_throughput(spec, n_aggs=0, msg_size=1024)
+    with pytest.raises(ValueError):
+        measure_system_throughput(spec, n_agg_nodes=0, nah=1, msg_ind=1024)
+
+
+def test_tune_node_picks_cheapest_saturating_config():
+    spec = small_spec()
+    result = tune_node(
+        spec,
+        nah_candidates=[1, 2, 4],
+        msg_candidates=[4096, 65536, 262144],
+    )
+    assert result.nah in (1, 2, 4)
+    assert result.msg_ind in (4096, 65536, 262144)
+    assert result.throughput > 0
+    assert result.node_mem_min == result.nah * result.msg_ind
+    assert result.mem_min == result.msg_ind
+    # cheapest: a strictly larger config must not be required
+    best = max(
+        measure_node_throughput(spec, n, m)
+        for n in (1, 2, 4)
+        for m in (4096, 65536, 262144)
+    )
+    assert result.throughput >= 0.95 * best
+
+
+def test_system_throughput_grows_until_storage_saturates():
+    spec = small_spec(nic_bandwidth=1e8, servers=4, server_bandwidth=1e8)
+    t1, _ = measure_system_throughput(spec, 1, nah=1, msg_ind=262144)
+    t4, _ = measure_system_throughput(spec, 4, nah=1, msg_ind=262144)
+    assert t4 > t1  # more nodes -> more aggregate injection
+    # and bounded by the storage aggregate
+    assert t4 <= spec.storage.aggregate_bandwidth * 1.01
+
+
+def test_tune_system_returns_consistent_msg_group():
+    spec = small_spec()
+    result = tune_system(spec, nah=2, msg_ind=65536, max_agg_nodes=8)
+    assert 1 <= result.agg_nodes <= 8
+    assert result.msg_group == result.agg_nodes * 2 * 65536
+    assert result.throughput > 0
+    assert result.finish_time_std >= 0
+
+
+def test_full_tune_produces_valid_config():
+    spec = small_spec()
+    cfg = tune(spec, cb_buffer_size=32768)
+    assert cfg.cb_buffer_size == 32768
+    assert cfg.msg_ind <= cfg.msg_group
+    assert cfg.nah >= 1
+    # the tuned memory floor flows into min_buffer, not mem_min
+    assert cfg.mem_min == 0
+    assert cfg.min_buffer == max(1, cfg.msg_ind // 4)
+
+
+def test_threshold_validation():
+    spec = small_spec()
+    with pytest.raises(ValueError):
+        tune_node(spec, threshold=0)
+    with pytest.raises(ValueError):
+        tune_system(spec, nah=1, msg_ind=1024, threshold=1.5)
+
+
+def test_tuning_deterministic():
+    spec = small_spec()
+    a = tune_node(spec, nah_candidates=[1, 2], msg_candidates=[4096, 65536])
+    b = tune_node(spec, nah_candidates=[1, 2], msg_candidates=[4096, 65536])
+    assert a == b

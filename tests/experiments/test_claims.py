@@ -1,0 +1,44 @@
+"""Tests for the memory-pressure and ablation experiments (slow-ish)."""
+
+import pytest
+
+from repro.experiments import ablation, memory_pressure
+
+
+@pytest.mark.slow
+class TestMemoryPressure:
+    def test_poster_claims_hold(self):
+        result = memory_pressure.run(buffer_mib=16, seed=0)
+        issues = result.check_claims()
+        assert issues == [], "\n".join(issues)
+        # the concrete claims, spelled out:
+        assert result.mcio.shuffle_inter_group_bytes == 0
+        assert result.mcio.paged_aggregators == 0
+        assert result.baseline.paged_aggregators > 0
+        assert result.mcio.overcommit_mean < result.baseline.overcommit_mean
+        assert result.mcio.overcommit_std < result.baseline.overcommit_std
+        assert result.mcio.bandwidth > result.baseline.bandwidth
+
+    def test_render(self):
+        result = memory_pressure.run(buffer_mib=16, seed=0)
+        text = result.render()
+        assert "overcommit" in text
+        assert "two-phase" in text and "MCIO" in text
+
+
+@pytest.mark.slow
+class TestAblation:
+    def test_all_variants_run(self):
+        result = ablation.run(buffer_mib=16, seed=0)
+        assert set(result.variants) == set(ablation.VARIANTS)
+        text = result.render()
+        assert "memory-oblivious" in text
+
+    def test_memory_awareness_is_the_load_bearing_mechanism(self):
+        """Removing memory awareness must hurt most (the paper's thesis)."""
+        result = ablation.run(buffer_mib=16, seed=0)
+        full = result.variants["mcio (full)"].bandwidth
+        oblivious = result.variants["memory-oblivious"].bandwidth
+        assert oblivious < full
+        assert result.variants["memory-oblivious"].paged_aggregators > 0
+        assert result.variants["mcio (full)"].paged_aggregators == 0

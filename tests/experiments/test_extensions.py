@@ -1,0 +1,47 @@
+"""Tests for the dynamic-memory and topology extension experiments."""
+
+import pytest
+
+from repro.experiments import dynamic_memory, topology
+
+
+@pytest.mark.slow
+class TestDynamicMemory:
+    def test_runtime_planning_wins_under_churn(self):
+        result = dynamic_memory.run(n_calls=3, seed=0, period=0.05)
+        assert len(result.baseline) == 3
+        assert len(result.mcio) == 3
+        # MCIO never pages; the baseline does at least sometimes
+        assert all(s.paged_aggregators == 0 for s in result.mcio)
+        assert any(s.paged_aggregators > 0 for s in result.baseline)
+        assert result.mean_improvement() > 20.0
+        text = result.render()
+        assert "two-phase" in text
+
+    def test_mcio_replans_per_call(self):
+        """Plans differ across calls as the landscape moves."""
+        result = dynamic_memory.run(n_calls=3, seed=0, period=0.05)
+        plans = {
+            (s.aggregator_ranks, tuple(sorted(s.agg_buffer_bytes.values())))
+            for s in result.mcio
+        }
+        base_sets = {s.aggregator_ranks for s in result.baseline}
+        assert len(base_sets) == 1  # the baseline never moves
+        assert len(plans) > 1  # run-time determination reacts
+
+
+@pytest.mark.slow
+class TestTopology:
+    def test_containment_pays_under_oversubscription(self):
+        result = topology.run(seed=0)
+        # grouped MCIO never sends a byte across racks
+        for factor in topology.OVERSUBSCRIPTION:
+            label = topology.TopologyResult._label(factor)
+            grouped = result.stats[(label, "mcio (groups)")]
+            assert grouped.extra["inter_rack_bytes"] == 0
+        # the no-groups variant does, and pays for it as taper steepens
+        flat = result.containment_ratio(None)
+        steep = result.containment_ratio(topology.OVERSUBSCRIPTION[-1])
+        assert steep > flat
+        assert steep > 1.1  # containment wins at 12:1
+        assert "cross-rack" in result.render()

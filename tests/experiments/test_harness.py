@@ -1,0 +1,135 @@
+"""Tests for the experiment harness (fast, scaled-down sweeps)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, StorageSpec
+from repro.core import MCIOConfig
+from repro.experiments.harness import Platform, run_collective, run_memory_sweep
+from repro.core import TwoPhaseCollectiveIO, TwoPhaseConfig
+from repro.core.request import AccessPattern
+
+
+def tiny_spec():
+    return ClusterSpec(
+        nodes=3,
+        node=NodeSpec(
+            cores=4,
+            memory_bytes=10**7,
+            memory_bandwidth=1e8,
+            memory_channels=2,
+            nic_bandwidth=1e7,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=4, server_bandwidth=1e6, request_overhead=1e-3, stripe_size=256
+        ),
+        paging_penalty=8.0,
+    )
+
+
+def serial_patterns(n, width=2000):
+    return [AccessPattern.contiguous(r * width, width) for r in range(n)]
+
+
+def tiny_mcio():
+    return MCIOConfig(
+        msg_group=8000, msg_ind=4000, mem_min=0, nah=2, min_buffer=1,
+        cb_buffer_size=1024,
+    )
+
+
+class TestPlatform:
+    def test_build(self):
+        p = Platform.build(tiny_spec(), n_ranks=12, seed=3)
+        assert p.comm.size == 12
+        assert len(p.cluster.nodes) == 3
+        assert p.pfs.datastore is None
+
+    def test_build_with_data(self):
+        p = Platform.build(tiny_spec(), n_ranks=4, with_data=True)
+        assert p.pfs.datastore is not None
+
+
+class TestRunCollective:
+    def test_write_then_read_stats(self):
+        p = Platform.build(tiny_spec(), n_ranks=6)
+        engine = TwoPhaseCollectiveIO(p.comm, p.pfs, TwoPhaseConfig(cb_buffer_size=1024))
+        stats = run_collective(p, engine, serial_patterns(6), ops=("write", "read"))
+        assert [s.op for s in stats] == ["write", "read"]
+        assert all(s.total_bytes == 6 * 2000 for s in stats)
+
+    def test_pattern_count_mismatch(self):
+        p = Platform.build(tiny_spec(), n_ranks=6)
+        engine = TwoPhaseCollectiveIO(p.comm, p.pfs)
+        with pytest.raises(ValueError):
+            run_collective(p, engine, serial_patterns(3))
+
+    def test_unknown_op(self):
+        p = Platform.build(tiny_spec(), n_ranks=2)
+        engine = TwoPhaseCollectiveIO(p.comm, p.pfs)
+        with pytest.raises(Exception):
+            run_collective(p, engine, serial_patterns(2), ops=("append",))
+
+
+class TestMemorySweep:
+    def test_sweep_produces_full_grid(self):
+        points = run_memory_sweep(
+            spec=tiny_spec(),
+            patterns=serial_patterns(6),
+            buffer_sizes=[2048, 512],
+            sigma_bytes=1024,
+            mcio_config=tiny_mcio(),
+        )
+        keys = {(p.buffer_bytes, p.strategy, p.op) for p in points}
+        assert len(keys) == 2 * 2 * 2  # buffers x strategies x ops
+        assert all(p.stats.elapsed > 0 for p in points)
+
+    def test_sweep_is_paired_and_deterministic(self):
+        def run():
+            return run_memory_sweep(
+                spec=tiny_spec(),
+                patterns=serial_patterns(6),
+                buffer_sizes=[1024],
+                sigma_bytes=512,
+                seed=11,
+                mcio_config=tiny_mcio(),
+            )
+
+        a, b = run(), run()
+        assert [(p.buffer_bytes, p.strategy, p.op, p.stats.elapsed) for p in a] == [
+            (p.buffer_bytes, p.strategy, p.op, p.stats.elapsed) for p in b
+        ]
+
+    def test_sweep_single_strategy(self):
+        points = run_memory_sweep(
+            spec=tiny_spec(),
+            patterns=serial_patterns(4),
+            buffer_sizes=[1024],
+            sigma_bytes=0,
+            strategies=("two-phase",),
+            ops=("write",),
+        )
+        assert len(points) == 1
+        assert points[0].strategy == "two-phase"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            run_memory_sweep(
+                spec=tiny_spec(),
+                patterns=serial_patterns(4),
+                buffer_sizes=[1024],
+                sigma_bytes=0,
+                strategies=("romio-ng",),
+            )
+
+    def test_buffer_size_applied(self):
+        points = run_memory_sweep(
+            spec=tiny_spec(),
+            patterns=serial_patterns(6),
+            buffer_sizes=[777],
+            sigma_bytes=0,
+            strategies=("two-phase",),
+            ops=("write",),
+        )
+        stats = points[0].stats
+        assert all(v == 777 for v in stats.agg_buffer_bytes.values())

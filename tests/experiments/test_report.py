@@ -1,0 +1,76 @@
+"""Tests for report rendering."""
+
+from repro.core.metrics import StatsCollector
+from repro.experiments.harness import SweepPoint
+from repro.experiments.report import (
+    average_improvements,
+    format_table,
+    improvement_pct,
+    sweep_rows,
+    sweep_table,
+)
+
+
+def make_point(buffer_bytes, strategy, op, total_bytes, elapsed):
+    c = StatsCollector(strategy, op, n_ranks=4)
+    c.mark_start(0.0)
+    c.mark_end(elapsed)
+    c.record_bytes(total_bytes)
+    return SweepPoint(
+        buffer_bytes=buffer_bytes, strategy=strategy, op=op, stats=c.finalize()
+    )
+
+
+def sample_points():
+    # two-phase: 100 MiB/s at 16 MiB, 50 at 4; mcio: 150 and 100
+    mib = 1024**2
+    return [
+        make_point(16 * mib, "two-phase", "write", 100 * mib, 1.0),
+        make_point(16 * mib, "mcio", "write", 150 * mib, 1.0),
+        make_point(4 * mib, "two-phase", "write", 50 * mib, 1.0),
+        make_point(4 * mib, "mcio", "write", 100 * mib, 1.0),
+    ]
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="T")
+    lines = out.split("\n")
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows equally wide
+
+
+import pytest
+
+
+def test_improvement_pct():
+    assert improvement_pct(100, 150) == pytest.approx(50.0)
+    assert improvement_pct(100, 80) == pytest.approx(-20.0)
+    assert improvement_pct(0, 100) == 0.0
+
+
+def test_sweep_rows_ordering_and_values():
+    rows = sweep_rows(sample_points(), "write")
+    assert len(rows) == 2
+    assert rows[0][0] > rows[1][0]  # largest buffer first
+    b, base, mcio, imp = rows[0]
+    assert base == 100.0 and mcio == 150.0 and imp == 50.0
+    assert rows[1][3] == 100.0
+
+
+def test_sweep_rows_skips_incomplete_pairs():
+    points = sample_points()[:1]  # only the baseline at 16 MiB
+    assert sweep_rows(points, "write") == []
+
+
+def test_sweep_table_renders():
+    out = sweep_table(sample_points(), "write", title="demo")
+    assert "demo" in out
+    assert "+50.0%" in out
+    assert "+100.0%" in out
+
+
+def test_average_improvements():
+    avgs = average_improvements(sample_points())
+    assert avgs == {"write": 75.0}

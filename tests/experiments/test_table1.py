@@ -1,0 +1,34 @@
+"""Tests for the Table 1 reproduction."""
+
+from repro.experiments.table1 import derived_rows, render_table1, table1_rows
+
+
+def test_eleven_paper_rows():
+    rows = table1_rows()
+    assert len(rows) == 11
+    assert rows[0] == ("System Peak", "2 Pf/s", "1 Ef/s", "500")
+    assert rows[-1] == ("I/O Bandwidth", "0.2 TB/s", "20 TB/s", "100")
+
+
+def test_derived_memory_per_core_shrinks():
+    rows = derived_rows()
+    mpc = next(r for r in rows if r[0].startswith("Memory per core"))
+    # the derived factor must be < 1 (memory per core shrinks)
+    assert float(mpc[3]) < 1.0
+    # and exascale memory per core lands in the ~10 MB regime
+    assert "MB" in mpc[2]
+
+
+def test_render_contains_all_rows():
+    text = render_table1()
+    for metric in ("System Peak", "Total concurrency", "Memory per core"):
+        assert metric in text
+
+
+def test_main_prints(capsys):
+    from repro.experiments.table1 import main
+
+    main()
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "4444" in out

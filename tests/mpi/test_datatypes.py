@@ -1,0 +1,185 @@
+"""Tests for MPI-style file views and decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import (
+    block_decompose_3d,
+    contiguous_view,
+    dims_create,
+    hindexed_view,
+    subarray_view_3d,
+    vector_view,
+)
+
+
+class TestSimpleViews:
+    def test_contiguous_view(self):
+        v = contiguous_view(100, 50)
+        assert v.nbytes == 50 and v.start == 100
+
+    def test_contiguous_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_view(-1, 10)
+
+    def test_vector_view(self):
+        v = vector_view(offset=0, count=4, block=8, stride=32)
+        assert v.nbytes == 32
+        assert v.block_count == 4
+        assert v.end == 3 * 32 + 8
+
+    def test_vector_view_zero_count(self):
+        assert vector_view(0, 0, 8, 32).empty
+
+    def test_hindexed_view_coalesces(self):
+        v = hindexed_view([(0, 10), (10, 10), (40, 5)])
+        assert v.nbytes == 25
+        assert v.segment_count == 2
+
+    def test_hindexed_drops_empty_pieces(self):
+        v = hindexed_view([(0, 10), (20, 0), (40, 5)])
+        assert v.nbytes == 15
+
+
+class TestSubarray3D:
+    def test_full_array_is_contiguous(self):
+        v = subarray_view_3d((4, 4, 4), (4, 4, 4), (0, 0, 0), elem_size=8)
+        assert v.segment_count == 1
+        assert v.nbytes == 4 * 4 * 4 * 8
+
+    def test_full_planes_contiguous(self):
+        # full y and z: contiguous slab
+        v = subarray_view_3d((8, 4, 4), (2, 4, 4), (4, 0, 0))
+        assert v.segment_count == 1
+        assert v.start == 4 * 16
+        assert v.nbytes == 2 * 4 * 4
+
+    def test_z_rows_merge_when_full_z(self):
+        # full z but partial y: one run per x
+        v = subarray_view_3d((4, 8, 4), (2, 2, 4), (0, 2, 0))
+        assert v.nbytes == 2 * 2 * 4
+        offsets = [(o, ln) for o, ln, _ in v.iter_mapped_extents()]
+        assert offsets == [(2 * 4, 8), (8 * 4 + 2 * 4, 8)]
+
+    def test_partial_z_strided(self):
+        v = subarray_view_3d((2, 3, 10), (1, 2, 4), (1, 1, 3))
+        # x=1, y in {1,2}, z in [3,7): runs at ((1*3+1)*10+3), ((1*3+2)*10+3)
+        offsets = [(o, ln) for o, ln, _ in v.iter_mapped_extents()]
+        assert offsets == [(43, 4), (53, 4)]
+
+    def test_against_numpy_flat_indices(self):
+        # ground truth via numpy: flatten a boolean mask of the block
+        g = (5, 6, 7)
+        sub = (2, 3, 4)
+        starts = (1, 2, 2)
+        elem = 4
+        mask = np.zeros(g, dtype=bool)
+        mask[
+            starts[0] : starts[0] + sub[0],
+            starts[1] : starts[1] + sub[1],
+            starts[2] : starts[2] + sub[2],
+        ] = True
+        flat = np.flatnonzero(mask.reshape(-1))
+        expected_bytes = set()
+        for idx in flat:
+            expected_bytes.update(range(idx * elem, (idx + 1) * elem))
+        v = subarray_view_3d(g, sub, starts, elem_size=elem)
+        got = set()
+        for off, ln, _ in v.iter_mapped_extents():
+            got.update(range(off, off + ln))
+        assert got == expected_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            subarray_view_3d((4, 4, 4), (5, 1, 1), (0, 0, 0))
+        with pytest.raises(ValueError):
+            subarray_view_3d((4, 4, 4), (2, 2, 2), (3, 0, 0))
+        with pytest.raises(ValueError):
+            subarray_view_3d((4, 4, 4), (1, 1, 1), (-1, 0, 0))
+        with pytest.raises(ValueError):
+            subarray_view_3d((4, 4, 4), (1, 1, 1), (0, 0, 0), elem_size=0)
+
+    @given(
+        g=st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8)),
+        data=st.data(),
+    )
+    @settings(max_examples=60)
+    def test_subarray_bytes_property(self, g, data):
+        sub = tuple(data.draw(st.integers(1, dim)) for dim in g)
+        starts = tuple(data.draw(st.integers(0, dim - s)) for dim, s in zip(g, sub))
+        elem = data.draw(st.integers(1, 8))
+        v = subarray_view_3d(g, sub, starts, elem_size=elem)
+        assert v.nbytes == sub[0] * sub[1] * sub[2] * elem
+        assert v.end <= g[0] * g[1] * g[2] * elem
+
+
+class TestDimsCreate:
+    def test_known_factorizations(self):
+        assert dims_create(120, 3) == [6, 5, 4]
+        assert dims_create(8, 3) == [2, 2, 2]
+        assert dims_create(1, 3) == [1, 1, 1]
+        assert dims_create(7, 2) == [7, 1]
+
+    def test_1080_three_dims(self):
+        dims = dims_create(1080, 3)
+        assert np.prod(dims) == 1080
+        assert dims == sorted(dims, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dims_create(0, 3)
+        with pytest.raises(ValueError):
+            dims_create(8, 0)
+
+    @given(n=st.integers(1, 4096), nd=st.integers(1, 4))
+    def test_product_property(self, n, nd):
+        dims = dims_create(n, nd)
+        assert len(dims) == nd
+        assert int(np.prod(dims)) == n
+
+
+class TestBlockDecompose3D:
+    def test_partition_covers_array_once(self):
+        g = (8, 8, 8)
+        blocks = block_decompose_3d(g, 8)
+        assert len(blocks) == 8
+        seen = np.zeros(g, dtype=int)
+        for (sx, sy, sz), (cx, cy, cz) in blocks:
+            seen[sx : sx + cx, sy : sy + cy, sz : sz + cz] += 1
+        assert (seen == 1).all()
+
+    def test_uneven_split(self):
+        blocks = block_decompose_3d((10, 1, 1), 3)
+        sizes = sorted(b[1][0] for b in blocks)
+        assert sizes == [3, 3, 4]
+
+    def test_grid_too_fine_rejected(self):
+        with pytest.raises(ValueError):
+            block_decompose_3d((2, 2, 2), 100)
+
+    @given(
+        g=st.tuples(st.integers(4, 12), st.integers(4, 12), st.integers(4, 12)),
+        n=st.integers(1, 27),
+    )
+    @settings(max_examples=40)
+    def test_decompose_partition_property(self, g, n):
+        try:
+            blocks = block_decompose_3d(g, n)
+        except ValueError:
+            return  # grid finer than the array is allowed to fail
+        assert len(blocks) == n
+        total = sum(cx * cy * cz for _, (cx, cy, cz) in blocks)
+        assert total == g[0] * g[1] * g[2]
+
+    def test_views_of_decomposition_are_disjoint_and_cover(self):
+        g = (6, 6, 6)
+        blocks = block_decompose_3d(g, 6)
+        covered = set()
+        for starts, shape in blocks:
+            v = subarray_view_3d(g, shape, starts, elem_size=1)
+            for off, ln, _ in v.iter_mapped_extents():
+                rng = set(range(off, off + ln))
+                assert not (covered & rng)
+                covered |= rng
+        assert covered == set(range(6 * 6 * 6))

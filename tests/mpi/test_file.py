@@ -1,0 +1,111 @@
+"""Tests for the MPI-IO-style SimFile facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import MemoryConsciousCollectiveIO, TwoPhaseCollectiveIO
+from repro.mpi import SimFile, contiguous_view, vector_view
+
+from tests.helpers import make_stack, rank_payload
+
+
+def test_write_all_read_all_roundtrip():
+    stack = make_stack(n_ranks=6, n_nodes=3)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    fh = SimFile.open(stack.comm, engine)
+    payloads = {r: rank_payload(r, 300) for r in range(6)}
+
+    def main(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * 300, 300))
+        yield from fh.write_all(ctx, payloads[ctx.rank].copy())
+        data = yield from fh.read_all(ctx)
+        fh.close(ctx)
+        return data
+
+    results = stack.run_spmd(main)
+    for r in range(6):
+        assert (results[r] == payloads[r]).all()
+    assert fh.size == 6 * 300
+
+
+def test_works_with_mcio_engine():
+    stack = make_stack(n_ranks=6, n_nodes=3)
+    from repro.core import MCIOConfig
+
+    engine = MemoryConsciousCollectiveIO(
+        stack.comm, stack.pfs,
+        MCIOConfig(msg_group=4096, msg_ind=1024, mem_min=0, nah=2,
+                   min_buffer=1, cb_buffer_size=1024),
+    )
+    fh = SimFile.open(stack.comm, engine)
+    payloads = {r: rank_payload(r, 200) for r in range(6)}
+
+    def main(ctx):
+        fh.set_view(ctx, vector_view(ctx.rank * 50, count=4, block=50,
+                                     stride=6 * 50))
+        yield from fh.write_all(ctx, payloads[ctx.rank].copy())
+        return (yield from fh.read_all(ctx))
+
+    results = stack.run_spmd(main)
+    for r in range(6):
+        assert (results[r] == payloads[r]).all()
+
+
+def test_independent_write_at_read_at():
+    stack = make_stack(n_ranks=2, n_nodes=1)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    fh = SimFile.open(stack.comm, engine)
+    data = rank_payload(5, 128)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from fh.write_at(ctx, 1000, data)
+        yield from fh.sync(ctx)
+        got = yield from fh.read_at(ctx, 1000, 128)
+        return got
+
+    results = stack.run_spmd(main)
+    for r in range(2):
+        assert (results[r] == data).all()
+
+
+def test_default_view_is_empty():
+    stack = make_stack(n_ranks=2, n_nodes=1)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    fh = SimFile.open(stack.comm, engine)
+
+    def main(ctx):
+        assert fh.view(ctx).empty
+        yield from fh.write_all(ctx)  # empty views: no-op collective
+
+    stack.run_spmd(main)
+    assert engine.history[0].total_bytes == 0
+
+
+def test_closed_file_rejects_io():
+    stack = make_stack(n_ranks=1, n_nodes=1)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    fh = SimFile.open(stack.comm, engine)
+
+    def main(ctx):
+        fh.set_view(ctx, contiguous_view(0, 10))
+        fh.close(ctx)
+        yield from fh.write_all(ctx, np.zeros(10, dtype=np.uint8))
+
+    with pytest.raises(Exception):
+        stack.run_spmd(main)
+
+
+def test_view_is_per_rank():
+    stack = make_stack(n_ranks=2, n_nodes=1)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    fh = SimFile.open(stack.comm, engine)
+    seen = {}
+
+    def main(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * 100, 100))
+        seen[ctx.rank] = fh.view(ctx)
+        yield from fh.sync(ctx)
+
+    stack.run_spmd(main)
+    assert seen[0].start == 0 and seen[1].start == 100

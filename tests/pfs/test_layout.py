@@ -1,0 +1,94 @@
+"""Tests for the striping layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.request import Extent
+from repro.pfs import StripeLayout
+
+
+class TestBasics:
+    def test_stripe_and_server_of(self):
+        lay = StripeLayout(stripe_size=100, n_servers=4)
+        assert lay.stripe_of(0) == 0
+        assert lay.stripe_of(99) == 0
+        assert lay.stripe_of(100) == 1
+        assert lay.server_of(0) == 0
+        assert lay.server_of(450) == 0  # stripe 4 -> server 0
+
+    def test_stripe_extent(self):
+        lay = StripeLayout(100, 4)
+        assert lay.stripe_extent(3) == Extent(300, 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripeLayout(0, 4)
+        with pytest.raises(ValueError):
+            StripeLayout(100, 0)
+        lay = StripeLayout(100, 4)
+        with pytest.raises(ValueError):
+            lay.stripe_of(-1)
+
+    def test_align(self):
+        lay = StripeLayout(100, 4)
+        assert lay.align_down(250) == 200
+        assert lay.align_up(250) == 300
+        assert lay.align_up(300) == 300
+
+
+class TestSplitExtent:
+    def test_within_one_stripe(self):
+        lay = StripeLayout(100, 4)
+        pieces = list(lay.split_extent(Extent(120, 50)))
+        assert pieces == [(1, Extent(120, 50))]
+
+    def test_spanning_stripes_round_robin(self):
+        lay = StripeLayout(100, 3)
+        pieces = list(lay.split_extent(Extent(50, 300)))
+        assert pieces == [
+            (0, Extent(50, 50)),
+            (1, Extent(100, 100)),
+            (2, Extent(200, 100)),
+            (0, Extent(300, 50)),
+        ]
+
+    def test_empty_extent(self):
+        lay = StripeLayout(100, 3)
+        assert list(lay.split_extent(Extent(50, 0))) == []
+
+
+class TestPerServerBytes:
+    def test_matches_split(self):
+        lay = StripeLayout(100, 3)
+        ext = Extent(50, 1234)
+        per = lay.per_server_bytes(ext)
+        truth = np.zeros(3, dtype=np.int64)
+        for s, piece in lay.split_extent(ext):
+            truth[s] += piece.length
+        assert (per == truth).all()
+        assert per.sum() == ext.length
+
+    def test_single_stripe(self):
+        lay = StripeLayout(100, 4)
+        per = lay.per_server_bytes(Extent(210, 30))
+        assert per[2] == 30 and per.sum() == 30
+
+    def test_servers_touched(self):
+        lay = StripeLayout(100, 4)
+        assert lay.servers_touched(Extent(0, 250)) == [0, 1, 2]
+
+    @given(
+        stripe=st.integers(1, 64),
+        n=st.integers(1, 9),
+        offset=st.integers(0, 1000),
+        length=st.integers(0, 2000),
+    )
+    def test_per_server_bytes_matches_bruteforce(self, stripe, n, offset, length):
+        lay = StripeLayout(stripe, n)
+        ext = Extent(offset, length)
+        per = lay.per_server_bytes(ext)
+        truth = np.zeros(n, dtype=np.int64)
+        for b in range(offset, offset + length):
+            truth[(b // stripe) % n] += 1
+        assert (per == truth).all()
