@@ -27,6 +27,8 @@ Package map
     Simulated communicator and MPI-datatype file views.
 ``repro.pfs``
     Striped parallel file system with optional byte-accurate store.
+``repro.faults``
+    Seeded fault schedules and the injector driving them.
 ``repro.core``
     The collective-I/O strategies and their planning components.
 ``repro.workloads``
@@ -59,6 +61,7 @@ from repro.core import (
     TwoPhaseCollectiveIO,
     TwoPhaseConfig,
 )
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
 from repro.mpi import (
     RankContext,
     SimComm,
@@ -69,7 +72,7 @@ from repro.mpi import (
     subarray_view_3d,
     vector_view,
 )
-from repro.pfs import ParallelFileSystem, SparseFile
+from repro.pfs import ParallelFileSystem, RetryPolicy, SparseFile
 from repro.sim import Environment, RngFactory
 from repro.workloads import (
     CollPerfWorkload,
@@ -89,6 +92,9 @@ __all__ = [
     "DataSievingIO",
     "Environment",
     "Extent",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
     "IORWorkload",
     "IndependentIO",
     "MCIOConfig",
@@ -96,6 +102,7 @@ __all__ = [
     "NodeSpec",
     "ParallelFileSystem",
     "RankContext",
+    "RetryPolicy",
     "RngFactory",
     "SimComm",
     "SimFile",

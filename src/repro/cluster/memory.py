@@ -74,14 +74,34 @@ class MemoryModel:
         avail = capacity_bytes if available_bytes is None else int(available_bytes)
         if avail < 0:
             raise ValueError("available_bytes must be >= 0")
-        self.available = min(avail, self.capacity)
+        self._base_available = min(avail, self.capacity)
         self.paging_penalty = float(paging_penalty)
         self._committed = 0
         self._peak = 0
         self._paged_allocs = 0
         self._total_allocs = 0
+        #: Bytes claimed by injected memory shocks (fault model); available
+        #: memory is the externally set base minus the live shock total.
+        self._shock = 0
 
     # ------------------------------------------------------------------
+    @property
+    def available(self) -> int:
+        """Memory available to collective-I/O buffers right now.
+
+        The externally managed base (set at construction, by experiment
+        setup, or by :class:`~repro.cluster.background.BackgroundLoad`)
+        minus any live injected memory shock, floored at zero — so shocks
+        compose with the background-load walk instead of being overwritten
+        by its next update.
+        """
+        return max(0, self._base_available - self._shock)
+
+    @property
+    def shock_bytes(self) -> int:
+        """Bytes currently claimed by injected memory shocks."""
+        return self._shock
+
     @property
     def committed(self) -> int:
         """Bytes currently allocated."""
@@ -109,10 +129,26 @@ class MemoryModel:
 
     # ------------------------------------------------------------------
     def set_available(self, available_bytes: int) -> None:
-        """Reset the node's available memory (experiment setup hook)."""
+        """Reset the node's base available memory (experiment setup hook).
+
+        Live memory shocks persist across this call: the effective
+        :attr:`available` stays ``base - shock``.
+        """
         if available_bytes < 0:
             raise ValueError("available_bytes must be >= 0")
-        self.available = min(int(available_bytes), self.capacity)
+        self._base_available = min(int(available_bytes), self.capacity)
+
+    def apply_shock(self, nbytes: int) -> None:
+        """Inject a sudden step drop of `nbytes` in available memory."""
+        if nbytes < 0:
+            raise ValueError("shock nbytes must be >= 0")
+        self._shock += int(nbytes)
+
+    def release_shock(self, nbytes: int) -> None:
+        """Lift `nbytes` of a previously applied shock."""
+        if nbytes < 0:
+            raise ValueError("shock nbytes must be >= 0")
+        self._shock = max(0, self._shock - int(nbytes))
 
     def would_page(self, nbytes: int) -> bool:
         """True if allocating `nbytes` now would exceed available memory."""

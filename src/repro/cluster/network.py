@@ -139,6 +139,12 @@ class Network:
             wire_time = chunk / wire_bw
             if paged_dst:
                 wire_time *= dst.memory.current_paging_factor
+            # a failed endpoint cannot source/sink data at wire speed: the
+            # transfer crawls at the slower endpoint's degraded pace
+            if src.failed:
+                wire_time *= src.failure_slowdown
+            if dst.failed:
+                wire_time *= dst.failure_slowdown
             # receiver-side ejection engine first, then the injection
             # engine, then the uplinks: a fixed class order, so a transfer
             # never parks an engine waiting for the other side beyond one

@@ -42,6 +42,23 @@ class Node:
         )
         self.nic_tx = Resource(env, capacity=1, name=f"node{node_id}.tx")
         self.nic_rx = Resource(env, capacity=1, name=f"node{node_id}.rx")
+        #: Fault-model state: a failed host is not dead — its processes
+        #: limp along (OS thrash, reboot, fenced NIC) at `failure_slowdown`
+        #: times the healthy speed, and planners/failover must avoid it.
+        self.failed = False
+        self.failure_slowdown = 1.0
+
+    def fail(self, slowdown: float = 16.0) -> None:
+        """Mark this host failed; local memory traffic slows by `slowdown`."""
+        if slowdown < 1.0:
+            raise ValueError("failure slowdown must be >= 1.0")
+        self.failed = True
+        self.failure_slowdown = float(slowdown)
+
+    def recover(self) -> None:
+        """Return the host to healthy operation."""
+        self.failed = False
+        self.failure_slowdown = 1.0
 
     @property
     def channel_bandwidth(self) -> float:
@@ -60,6 +77,8 @@ class Node:
         yield req
         try:
             factor = self.memory.current_paging_factor if paged else 1.0
+            if self.failed:
+                factor *= self.failure_slowdown
             t = self.memory.copy_time(nbytes, self.channel_bandwidth) * factor
             yield self.env.timeout(t)
         finally:

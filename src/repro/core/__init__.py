@@ -17,6 +17,7 @@ Public surface:
 from .aggregator_selection import PlacementError, candidate_hosts, place_aggregators
 from .config import MCIOConfig, TwoPhaseConfig
 from .engine import ExecutionPlan, execute_collective
+from .failover import FailoverDecision, replace_failed_domains
 from .filedomain import FileDomain, even_domains, rounds_for
 from .group_division import AggregationGroup, divide_groups
 from .independent import DataSievingIO, IndependentIO
@@ -33,6 +34,7 @@ __all__ = [
     "DataSievingIO",
     "ExecutionPlan",
     "Extent",
+    "FailoverDecision",
     "FileDomain",
     "IndependentIO",
     "MCIOConfig",
@@ -51,5 +53,6 @@ __all__ = [
     "even_domains",
     "execute_collective",
     "place_aggregators",
+    "replace_failed_domains",
     "rounds_for",
 ]

@@ -37,7 +37,30 @@ __all__ = ["PlacementError", "place_aggregators", "candidate_hosts"]
 
 
 class PlacementError(RuntimeError):
-    """No host can satisfy a domain's memory requirement."""
+    """No host can satisfy a domain's memory requirement.
+
+    Attributes
+    ----------
+    group_id:
+        The aggregation group whose assignment failed (None if unknown).
+    domain:
+        The offending domain's extent (None if the whole pass failed).
+    best_mem_avl:
+        Largest remaining ``Mem_avl`` among the candidate hosts, bytes
+        (None when there were no candidates at all).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        group_id: Optional[int] = None,
+        domain: Optional[Extent] = None,
+        best_mem_avl: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.group_id = group_id
+        self.domain = domain
+        self.best_mem_avl = best_mem_avl
 
 
 def candidate_hosts(
@@ -128,7 +151,9 @@ def place_aggregators(
                 host_state[node] = state
             return domains
     raise PlacementError(
-        f"group {group_id}: assignment did not converge"
+        f"group {group_id}: assignment did not converge "
+        f"after {max_passes} passes over {tree.n_leaves} leaves",
+        group_id=group_id,
     )  # pragma: no cover - loop is bounded by leaf count
 
 
@@ -251,9 +276,17 @@ def _try_assign(
                     buffer = nominal
                     paged = True
             else:
+                best_avl = max(
+                    (hosts[node].remaining for node in candidates), default=None
+                )
                 raise PlacementError(
                     f"group {group_id}: no host satisfies {requirement} B "
-                    f"for domain [{domain.offset}, {domain.end})"
+                    f"for domain [{domain.offset}, {domain.end}) "
+                    f"({domain.length} B, {len(candidates)} candidate "
+                    f"host(s), best Mem_avl {best_avl} B)",
+                    group_id=group_id,
+                    domain=domain,
+                    best_mem_avl=best_avl,
                 )
 
         state = hosts[best]

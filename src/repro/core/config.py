@@ -108,6 +108,18 @@ class MCIOConfig:
         is remerged (or placed paged as a last resort).
     shuffle_granularity:
         See module docstring.
+    failover:
+        Degraded-mode execution: when an aggregator's host fails
+        mid-operation, re-place the orphaned domains on the next-best
+        live hosts between lockstep rounds (``"round"`` granularity
+        only).  With no faults injected this is timing-neutral.
+    fallback_chain:
+        Graceful planning degradation: if MCIO planning raises
+        :class:`~repro.core.aggregator_selection.PlacementError`, fall
+        back to a ROMIO-style even plan on the live hosts, and to
+        independent I/O if no live aggregator host exists, instead of
+        crashing the collective.  The tier actually used is recorded in
+        :attr:`~repro.core.metrics.CollectiveStats.degraded_tier`.
     """
 
     msg_group: int = 256 * MIB
@@ -121,6 +133,8 @@ class MCIOConfig:
     adaptive_buffer: bool = True
     min_buffer: int = 1 * MIB
     shuffle_granularity: ShuffleGranularity = "round"
+    failover: bool = True
+    fallback_chain: bool = True
 
     def __post_init__(self) -> None:
         _check_common(self.cb_buffer_size, self.shuffle_granularity)

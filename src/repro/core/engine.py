@@ -37,6 +37,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.failover import replace_failed_domains
 from repro.core.filedomain import FileDomain, rounds_for
 from repro.core.metrics import StatsCollector
 from repro.core.request import AccessPattern, Extent, coalesce_extents
@@ -160,7 +161,8 @@ class _RunContext:
 
     __slots__ = (
         "ctx", "comm", "pfs", "plan", "patterns", "stats", "op", "op_seq",
-        "payload", "node",
+        "payload", "node", "domains", "allocs", "paged_flags",
+        "failover_config",
     )
 
     def __init__(self, ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload):
@@ -174,6 +176,13 @@ class _RunContext:
         self.op_seq = op_seq
         self.payload = payload
         self.node = ctx.node
+        #: Mutable view of the plan's domains: failover swaps aggregators
+        #: here while the frozen plan keeps the original assignment.
+        self.domains = list(plan.domains)
+        #: This rank's live aggregation-buffer allocations, by domain id.
+        self.allocs: dict[int, object] = {}
+        self.paged_flags: dict[int, bool] = {}
+        self.failover_config = None
 
 
 def execute_collective(
@@ -187,6 +196,7 @@ def execute_collective(
     op_seq: int,
     payload: Optional[np.ndarray] = None,
     granularity: str = "round",
+    failover_config=None,
 ):
     """Process generator: one rank's role in a planned collective op.
 
@@ -212,6 +222,12 @@ def execute_collective(
     granularity:
         ``"round"`` (lockstep, like ROMIO) or ``"domain"`` (streaming,
         for very large runs) — see module docstring.
+    failover_config:
+        An :class:`~repro.core.config.MCIOConfig` to enable mid-run
+        aggregator failover (between lockstep rounds, ``"round"``
+        granularity only), or None for fault-oblivious execution.  With
+        no failed hosts the check adds no simulation events, so
+        fault-free timing is unchanged.
 
     Returns
     -------
@@ -224,55 +240,65 @@ def execute_collective(
     env = ctx.env
     stats.mark_start(env.now)
     run = _RunContext(ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload)
+    if granularity == "round":
+        run.failover_config = failover_config
 
     # allocate this rank's aggregation buffers for the whole operation
-    allocs = []
-    paged_flags: dict[int, bool] = {}
-    for did, domain in enumerate(plan.domains):
+    for did, domain in enumerate(run.domains):
         if domain.aggregator_rank != ctx.rank:
             continue
-        alloc = ctx.node.memory.alloc(
-            domain.buffer_bytes, label=f"cb.{op_seq}.{did}"
-        )
-        allocs.append(alloc)
-        paged = alloc.paged or domain.paged
-        paged_flags[did] = paged
-        overcommit = max(
-            0, ctx.node.memory.committed - ctx.node.memory.available
-        )
-        stats.record_aggregator(ctx.rank, domain.buffer_bytes, paged, overcommit)
+        _alloc_aggregator_buffer(run, did, domain)
         stats.record_rounds(rounds_for(domain.extent.length, domain.buffer_bytes))
 
     try:
         if granularity == "round":
-            yield from _run_lockstep(run, paged_flags)
+            yield from _run_lockstep(run)
         else:
-            yield from _run_streaming(run, paged_flags)
+            yield from _run_streaming(run)
     finally:
-        for alloc in allocs:
+        for alloc in run.allocs.values():
             ctx.node.memory.free(alloc)
+        run.allocs.clear()
     yield from comm.barrier(ctx)
     stats.mark_end(env.now)
     return payload
 
 
+def _alloc_aggregator_buffer(run: _RunContext, did: int, domain: FileDomain):
+    """Commit this rank's aggregation buffer for `domain` and record it."""
+    ctx = run.ctx
+    alloc = ctx.node.memory.alloc(
+        domain.buffer_bytes, label=f"cb.{run.op_seq}.{did}"
+    )
+    run.allocs[did] = alloc
+    paged = alloc.paged or domain.paged
+    run.paged_flags[did] = paged
+    overcommit = max(0, ctx.node.memory.committed - ctx.node.memory.available)
+    run.stats.record_aggregator(ctx.rank, domain.buffer_bytes, paged, overcommit)
+    return paged
+
+
 # ---------------------------------------------------------------------------
 # lockstep execution (ROMIO's ntimes loop)
 # ---------------------------------------------------------------------------
-def _run_lockstep(run: _RunContext, paged_flags: dict[int, bool]):
-    ctx, comm, plan = run.ctx, run.comm, run.plan
+def _run_lockstep(run: _RunContext):
+    ctx, comm = run.ctx, run.comm
     my_pattern = run.patterns[ctx.rank]
-    ntimes = plan.ntimes
+    ntimes = run.plan.ntimes
     for t in range(ntimes):
+        if run.failover_config is not None:
+            yield from _failover_check(run, t)
         procs = []
-        for did, domain in enumerate(plan.domains):
+        for did, domain in enumerate(run.domains):
             window = _round_extent(domain, t)
             if window is None:
                 continue
             if domain.aggregator_rank == ctx.rank:
                 procs.append(
                     ctx.spawn(
-                        _aggregator_window(run, did, window, t, paged_flags[did]),
+                        _aggregator_window(
+                            run, did, window, t, run.paged_flags[did]
+                        ),
                         name=f"rank{ctx.rank}.agg{did}.r{t}",
                     )
                 )
@@ -290,18 +316,74 @@ def _run_lockstep(run: _RunContext, paged_flags: dict[int, bool]):
         yield from comm.barrier(ctx)
 
 
+def _failover_check(run: _RunContext, t: int):
+    """Between-rounds failover: re-place domains whose host failed.
+
+    Every rank reaches a round boundary at the same simulated instant
+    (the preceding barrier guarantees it), reads the same cluster state,
+    and therefore takes the same branch: either all ranks return
+    immediately (no failed aggregator hosts — no events created, so the
+    fault-free schedule is untouched), or all ranks join a memory
+    allgather (charging the re-coordination time) and compute an
+    identical replacement via :func:`replace_failed_domains`.
+    """
+    ctx, comm = run.ctx, run.comm
+    orphaned = any(
+        comm.node_of_rank(d.aggregator_rank).failed for d in run.domains
+    )
+    if not orphaned:
+        return
+    failed_nodes = frozenset(
+        node.node_id for node in comm.cluster.nodes if node.failed
+    )
+    # fresh memory snapshot: identical values on every rank, and the
+    # allgather itself charges the failover's coordination cost
+    mem_pairs = yield from comm.allgather(
+        ctx, (ctx.node.node_id, ctx.node.memory.free_available), nbytes=16
+    )
+    memory_available: dict[int, int] = {}
+    for node_id, avail in mem_pairs:
+        memory_available.setdefault(node_id, avail)
+    decision = replace_failed_domains(
+        run.domains,
+        run.patterns,
+        comm.placement,
+        memory_available,
+        run.failover_config,
+        failed_nodes,
+    )
+    for did in decision.moved:
+        old = run.domains[did]
+        new = decision.domains[did]
+        if old.aggregator_rank == ctx.rank and did in run.allocs:
+            ctx.node.memory.free(run.allocs.pop(did))
+            run.paged_flags.pop(did, None)
+        run.domains[did] = new
+        if new.aggregator_rank == ctx.rank:
+            _alloc_aggregator_buffer(run, did, new)
+            run.stats.record_failover()
+            run.stats.extra.setdefault("failover_rounds", []).append(t)
+            run.stats.extra.setdefault("failover_targets", []).append(
+                new.aggregator_rank
+            )
+    if decision.kept and ctx.rank == comm.world.ranks[0]:
+        run.stats.extra["failover_kept"] = (
+            run.stats.extra.get("failover_kept", 0) + len(decision.kept)
+        )
+
+
 # ---------------------------------------------------------------------------
 # streaming execution (one message per pair, aggregators free-run)
 # ---------------------------------------------------------------------------
-def _run_streaming(run: _RunContext, paged_flags: dict[int, bool]):
+def _run_streaming(run: _RunContext):
     ctx = run.ctx
     my_pattern = run.patterns[ctx.rank]
     procs = []
-    for did, domain in enumerate(run.plan.domains):
+    for did, domain in enumerate(run.domains):
         if domain.aggregator_rank == ctx.rank:
             procs.append(
                 ctx.spawn(
-                    _aggregator_streaming(run, did, paged_flags[did]),
+                    _aggregator_streaming(run, did, run.paged_flags[did]),
                     name=f"rank{ctx.rank}.agg{did}",
                 )
             )
@@ -322,7 +404,7 @@ def _run_streaming(run: _RunContext, paged_flags: dict[int, bool]):
 def _member_exchange(run: _RunContext, did: int, window: Extent, tag_round: int):
     """Send (write) or receive (read) this rank's bytes of `window`."""
     ctx, comm = run.ctx, run.comm
-    domain = run.plan.domains[did]
+    domain = run.domains[did]
     my_pattern = run.patterns[ctx.rank]
     agg = domain.aggregator_rank
     same_node = comm.node_id_of_rank(agg) == comm.node_id_of_rank(ctx.rank)
@@ -356,7 +438,7 @@ def _member_window(run: _RunContext, did: int, window: Extent, t: int):
 
 
 def _member_streaming(run: _RunContext, did: int):
-    domain = run.plan.domains[did]
+    domain = run.domains[did]
     yield from _member_exchange(run, did, domain.extent, 0)
 
 
@@ -383,7 +465,7 @@ def _aggregator_window(
 
 def _aggregator_streaming(run: _RunContext, did: int, paged: bool):
     """Whole-domain exchange; buffer rounds applied to the I/O locally."""
-    domain = run.plan.domains[did]
+    domain = run.domains[did]
     io_rounds = [
         w
         for w in (

@@ -28,13 +28,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.aggregator_selection import place_aggregators
+from repro.core.aggregator_selection import PlacementError, place_aggregators
 from repro.core.config import MCIOConfig
 from repro.core.engine import ExecutionPlan, execute_collective
+from repro.core.filedomain import FileDomain, even_domains
 from repro.core.group_division import divide_groups
 from repro.core.metrics import CollectiveStats, StatsCollector
 from repro.core.partition_tree import PartitionTree
 from repro.core.request import AccessPattern
+from repro.core.two_phase import default_aggregators
 from repro.mpi.comm import RankContext, SimComm
 from repro.pfs.filesystem import ParallelFileSystem
 
@@ -139,30 +141,62 @@ class MemoryConsciousCollectiveIO:
         meta_bytes = 32 * (1 + pattern.segment_count)
         patterns = yield from self.comm.allgather(ctx, pattern, nbytes=meta_bytes)
         # run-time memory snapshot: each rank reports its node's available
-        # memory net of current commitments
-        mem_pairs = yield from self.comm.allgather(
+        # memory net of current commitments, plus the node's health
+        mem_state = yield from self.comm.allgather(
             ctx,
-            (ctx.node.node_id, ctx.node.memory.free_available),
+            (ctx.node.node_id, ctx.node.memory.free_available, ctx.node.failed),
             nbytes=16,
         )
-        plan, stats = self._prepare(seq, patterns, mem_pairs, op)
-        result = yield from execute_collective(
-            ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
-            payload=payload, granularity=self.config.shuffle_granularity,
-        )
+        plan, stats = self._prepare(seq, patterns, mem_state, op)
+        if plan is None:
+            # last tier of the fallback chain: uncoordinated independent I/O
+            result = yield from self._independent_tier(ctx, pattern, payload, op, stats)
+        else:
+            result = yield from execute_collective(
+                ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
+                payload=payload, granularity=self.config.shuffle_granularity,
+                failover_config=self.config if self.config.failover else None,
+            )
         self._finish(seq, ctx)
         return result
 
-    def _prepare(self, seq, patterns, mem_pairs, op):
+    def _prepare(self, seq, patterns, mem_state, op):
         if seq not in self._plans:
             memory_available = {}
-            for node_id, avail in mem_pairs:
+            failed_nodes = set()
+            for node_id, avail, failed in mem_state:
                 memory_available.setdefault(node_id, avail)
-            self._plans[seq] = self.plan(patterns, memory_available)
+                if failed:
+                    failed_nodes.add(node_id)
+            plan, tier, reason = self._plan_with_fallback(
+                patterns, memory_available, frozenset(failed_nodes)
+            )
+            self._plans[seq] = plan
             collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
-            collector.n_groups = self._plans[seq].n_groups
+            collector.n_groups = plan.n_groups if plan is not None else 1
+            collector.set_tier(tier)
+            collector.attach_pfs(self.pfs)
+            if reason is not None:
+                collector.extra["fallback_reason"] = reason
             self._stats[seq] = collector
         return self._plans[seq], self._stats[seq]
+
+    def _independent_tier(self, ctx, pattern, payload, op, stats):
+        """Process generator: serve the collective as independent I/O."""
+        stats.mark_start(ctx.env.now)
+        if op == "write":
+            yield from self.pfs.write_pattern(ctx.node, pattern, payload)
+            result = payload
+        else:
+            data = yield from self.pfs.read_pattern(ctx.node, pattern)
+            if payload is not None and data is not None:
+                payload[:] = data
+                data = payload
+            result = data
+        stats.record_bytes(pattern.nbytes)
+        # preserve collective-call semantics: no rank leaves early
+        yield from self.comm.barrier(ctx)
+        return result
 
     def _finish(self, seq, ctx):
         stats = self._stats.get(seq)
@@ -176,12 +210,77 @@ class MemoryConsciousCollectiveIO:
             del self._plans[seq]
 
     # ------------------------------------------------------------------
+    def _plan_with_fallback(
+        self,
+        patterns: Sequence[AccessPattern],
+        memory_available: dict[int, int],
+        failed_nodes: frozenset = frozenset(),
+    ):
+        """Graceful planning degradation: MCIO → two-phase → independent.
+
+        Returns ``(plan, tier, reason)``: `tier` is None when the MCIO
+        plan succeeded, ``"two-phase"`` for the ROMIO-style even plan on
+        the live hosts, ``"independent"`` (with ``plan=None``) when not
+        even one live aggregator host exists; `reason` carries the
+        triggering :class:`PlacementError` message.
+        """
+        try:
+            plan = self.plan(
+                patterns, memory_available, failed_nodes=failed_nodes
+            )
+            return plan, None, None
+        except PlacementError as exc:
+            if not self.config.fallback_chain:
+                raise
+            reason = str(exc)
+        plan = self._two_phase_plan(patterns, failed_nodes)
+        if plan is not None:
+            return plan, "two-phase", reason
+        return None, "independent", reason
+
+    def _two_phase_plan(
+        self, patterns: Sequence[AccessPattern], failed_nodes: frozenset
+    ) -> Optional[ExecutionPlan]:
+        """ROMIO-style even plan restricted to live hosts, or None."""
+        active = [p for p in patterns if not p.empty]
+        if not active:
+            return ExecutionPlan((), (), n_groups=1)
+        aggs = [
+            r
+            for r in default_aggregators(self.comm.placement)
+            if self.comm.placement[r] not in failed_nodes
+        ]
+        if not aggs:
+            return None
+        lo = min(p.start for p in active)
+        hi = max(p.end for p in active)
+        stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
+        extents = even_domains(lo, hi, len(aggs), stripe_size=stripe)
+        domains = [
+            FileDomain(
+                extent=ext,
+                aggregator_rank=aggs[i],
+                buffer_bytes=self.config.cb_buffer_size,
+                paged=False,
+                group_id=0,
+            )
+            for i, ext in enumerate(extents)
+        ]
+        return ExecutionPlan.build(domains, patterns, n_groups=1)
+
+    # ------------------------------------------------------------------
     def plan(
         self,
         patterns: Sequence[AccessPattern],
         memory_available: dict[int, int],
+        failed_nodes: frozenset = frozenset(),
     ) -> ExecutionPlan:
-        """Run the four-component MCIO planning pipeline."""
+        """Run the four-component MCIO planning pipeline.
+
+        Hosts in `failed_nodes` are soft-excluded: they plan as if they
+        had no memory at all, so the placer only lands on them when no
+        live candidate exists (and marks the placement paged).
+        """
         cfg = self.config
         stripe = self.pfs.layout.stripe_size if cfg.stripe_align else 0
 
@@ -199,6 +298,11 @@ class MemoryConsciousCollectiveIO:
             memory_available = {
                 node.node_id: node.memory.capacity
                 for node in self.comm.cluster.nodes
+            }
+        if failed_nodes:
+            memory_available = {
+                node_id: (0 if node_id in failed_nodes else avail)
+                for node_id, avail in memory_available.items()
             }
 
         all_domains = []

@@ -46,6 +46,15 @@ class CollectiveStats:
     shuffle_inter_group_bytes: int
     n_groups: int = 1
     extra: dict = field(default_factory=dict)
+    #: Which tier actually served the collective when the primary planner
+    #: could not: None = the strategy's own plan, else "two-phase" or
+    #: "independent" (the graceful-degradation chain).
+    degraded_tier: Optional[str] = None
+    #: PFS client retries / abandoned requests during this operation.
+    io_retries: int = 0
+    io_abandons: int = 0
+    #: Aggregator failovers performed mid-operation (failed host replaced).
+    failovers: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -111,13 +120,26 @@ class CollectiveStats:
             return 0
         return max(self.agg_overcommit_bytes.values())
 
+    @property
+    def tier(self) -> str:
+        """The tier that served the collective ("mcio", "two-phase", ...)."""
+        return self.degraded_tier if self.degraded_tier else self.strategy
+
     def summary(self) -> str:
         """One-line human-readable digest."""
+        degraded = (
+            f", degraded->{self.degraded_tier}" if self.degraded_tier else ""
+        )
+        resilience = ""
+        if self.io_retries or self.failovers or self.io_abandons:
+            resilience = (
+                f", {self.io_retries} retries, {self.failovers} failovers"
+            )
         return (
             f"{self.strategy} {self.op}: {self.bandwidth_mib:8.1f} MiB/s  "
             f"({self.total_bytes / 1024 / 1024:.0f} MiB in {self.elapsed:.3f} s, "
             f"{self.n_aggregators} aggs, {self.paged_aggregators} paged, "
-            f"{self.rounds_total} rounds)"
+            f"{self.rounds_total} rounds{degraded}{resilience})"
         )
 
 
@@ -140,6 +162,11 @@ class StatsCollector:
         self.shuffle_inter_group_bytes = 0
         self.n_groups = 1
         self.extra: dict = {}
+        self.degraded_tier: Optional[str] = None
+        self.failovers = 0
+        self._pfs = None
+        self._pfs_retries0 = 0
+        self._pfs_abandons0 = 0
 
     # ------------------------------------------------------------------
     def mark_start(self, now: float) -> None:
@@ -184,6 +211,26 @@ class StatsCollector:
         """Add bytes moved to/from the file system."""
         self.total_bytes += nbytes
 
+    def set_tier(self, tier: Optional[str]) -> None:
+        """Record the degradation tier that served the collective."""
+        self.degraded_tier = tier
+
+    def record_failover(self, count: int = 1) -> None:
+        """Count aggregator failovers performed during the run."""
+        self.failovers += count
+
+    def attach_pfs(self, pfs) -> None:
+        """Snapshot the file system's retry counters at operation start.
+
+        :meth:`finalize` reports the *delta* accumulated while this
+        operation ran.  Concurrent operations on the same file system
+        each see the union of retries in their window.
+        """
+        if self._pfs is None:
+            self._pfs = pfs
+            self._pfs_retries0 = pfs.io_retries
+            self._pfs_abandons0 = pfs.io_abandons
+
     # ------------------------------------------------------------------
     def finalize(self) -> CollectiveStats:
         """Fold into an immutable summary."""
@@ -206,4 +253,12 @@ class StatsCollector:
             shuffle_inter_group_bytes=self.shuffle_inter_group_bytes,
             n_groups=self.n_groups,
             extra=dict(self.extra),
+            degraded_tier=self.degraded_tier,
+            io_retries=(
+                self._pfs.io_retries - self._pfs_retries0 if self._pfs else 0
+            ),
+            io_abandons=(
+                self._pfs.io_abandons - self._pfs_abandons0 if self._pfs else 0
+            ),
+            failovers=self.failovers,
         )

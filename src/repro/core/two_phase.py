@@ -130,6 +130,7 @@ class TwoPhaseCollectiveIO:
             self._plans[seq] = self.plan(patterns)
             collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
             collector.n_groups = self._plans[seq].n_groups
+            collector.attach_pfs(self.pfs)
             self._stats[seq] = collector
         return self._plans[seq], self._stats[seq]
 

@@ -11,6 +11,7 @@ a ``main()`` CLI entry point::
     python -m repro.experiments.ablation
     python -m repro.experiments.dynamic_memory
     python -m repro.experiments.topology
+    python -m repro.experiments.resilience
 """
 
 from . import (
@@ -20,6 +21,7 @@ from . import (
     figure7,
     figure8,
     memory_pressure,
+    resilience,
     table1,
 )
 from . import topology  # noqa: F401  (registered experiment)
@@ -55,6 +57,7 @@ __all__ = [
     "save_points",
     "stats_from_dict",
     "stats_to_dict",
+    "resilience",
     "sweep_rows",
     "sweep_table",
     "table1",

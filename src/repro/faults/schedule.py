@@ -1,0 +1,238 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is an immutable, time-ordered list of
+:class:`FaultEvent` records — *what* goes wrong, *where*, *when*, and for
+*how long*.  Schedules are either written out explicitly (tests, the
+resilience example) or generated from a seed with
+:meth:`FaultSchedule.generate`, which draws per-kind Poisson arrival
+processes from :class:`~repro.sim.rng.RngFactory` substreams; the same
+``(seed, parameters)`` always produces the same schedule, so a chaos run
+is reproducible from its config alone.
+
+The schedule is pure data: applying it to a simulation is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.sim import RngFactory
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultSchedule"]
+
+#: The fault kinds the injector understands.
+FAULT_KINDS = (
+    "server_slowdown",
+    "server_outage",
+    "memory_shock",
+    "node_failure",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    time:
+        Simulated second at which the fault strikes.
+    kind:
+        One of :data:`FAULT_KINDS`:
+
+        ``"server_slowdown"``
+            I/O server `target` serves `magnitude` times slower for
+            `duration` seconds (overlapping windows compose
+            multiplicatively).
+        ``"server_outage"``
+            I/O server `target` rejects requests for `duration` seconds
+            (windows are reference-counted, so overlaps are safe);
+            `magnitude` is ignored.
+        ``"memory_shock"``
+            Node `target` abruptly loses ``int(magnitude)`` bytes of
+            available memory for `duration` seconds — composes with any
+            :class:`~repro.cluster.background.BackgroundLoad` driving
+            the same node.
+        ``"node_failure"``
+            Node `target`'s memory and network traffic slow by
+            `magnitude`; with ``duration=None`` the host never recovers
+            (the aggregator-failure case the engine fails over from).
+    target:
+        Server id or node id, per `kind`.
+    duration:
+        Window length in seconds, or None for a permanent fault
+        (``"node_failure"`` only).
+    magnitude:
+        Kind-specific intensity (see above).
+    """
+
+    time: float
+    kind: str
+    target: int
+    duration: Optional[float] = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.target < 0:
+            raise ValueError("target must be >= 0")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive (or None)")
+        if self.duration is None and self.kind != "node_failure":
+            raise ValueError(f"{self.kind} requires a duration")
+        if self.kind in ("server_slowdown", "node_failure") and self.magnitude < 1.0:
+            raise ValueError(f"{self.kind} magnitude must be >= 1.0")
+        if self.kind == "memory_shock" and self.magnitude < 1:
+            raise ValueError("memory_shock magnitude is bytes, must be >= 1")
+
+    @property
+    def end(self) -> Optional[float]:
+        """When the fault reverts, or None if permanent."""
+        return None if self.duration is None else self.time + self.duration
+
+
+class FaultSchedule:
+    """An immutable, time-ordered fault plan."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.time, e.kind, e.target))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultSchedule {len(self.events)} events>"
+
+    def count(self, kind: str) -> int:
+        """Number of scheduled events of `kind`."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def merged(self, other: "FaultSchedule | Iterable[FaultEvent]") -> "FaultSchedule":
+        """A new schedule combining this one's events with `other`'s."""
+        extra = other.events if isinstance(other, FaultSchedule) else tuple(other)
+        return FaultSchedule(self.events + tuple(extra))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float,
+        n_servers: int,
+        n_nodes: int,
+        server_slowdown_rate: float = 0.0,
+        server_outage_rate: float = 0.0,
+        memory_shock_rate: float = 0.0,
+        node_failure_rate: float = 0.0,
+        slowdown_factor: tuple[float, float] = (2.0, 8.0),
+        slowdown_duration: tuple[float, float] = (0.1, 1.0),
+        outage_duration: tuple[float, float] = (0.05, 0.5),
+        shock_bytes: tuple[int, int] = (1 << 20, 64 << 20),
+        shock_duration: tuple[float, float] = (0.1, 1.0),
+        failure_slowdown: float = 16.0,
+        failure_duration: Optional[float] = None,
+        spare_nodes: Sequence[int] = (),
+    ) -> "FaultSchedule":
+        """Draw a seeded random schedule over ``[0, horizon)``.
+
+        Each kind is an independent Poisson process (``rate`` events per
+        simulated second) drawn from its own
+        :meth:`~repro.sim.rng.RngFactory.stream` substream, so adding one
+        kind never perturbs another kind's draws.  A rate of 0 yields no
+        events of that kind; all rates 0 yields an empty schedule.
+
+        Parameters
+        ----------
+        seed:
+            Root seed (schedule substreams derive from it).
+        horizon:
+            Length of the window faults may strike in, seconds.
+        n_servers, n_nodes:
+            Target universes for server / node faults.
+        *_rate:
+            Events per simulated second for each kind.
+        slowdown_factor, slowdown_duration, outage_duration, shock_bytes,
+        shock_duration:
+            Uniform ranges the per-event intensities are drawn from.
+        failure_slowdown, failure_duration:
+            Intensity and window (None = permanent) for node failures.
+        spare_nodes:
+            Node ids exempt from node failures and memory shocks (keep at
+            least one live failover target in small clusters).
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if n_servers < 1 or n_nodes < 1:
+            raise ValueError("need at least one server and one node")
+        rng = RngFactory(seed)
+        events: list[FaultEvent] = []
+        fault_nodes = [n for n in range(n_nodes) if n not in set(spare_nodes)]
+
+        def _draw(kind, rate, targets, make):
+            if rate <= 0 or not targets:
+                return
+            gen = rng.stream("faults", kind)
+            count = int(gen.poisson(rate * horizon))
+            for _ in range(count):
+                t = float(gen.uniform(0.0, horizon))
+                target = int(targets[int(gen.integers(0, len(targets)))])
+                events.append(make(gen, t, target))
+
+        _draw(
+            "server_slowdown",
+            server_slowdown_rate,
+            list(range(n_servers)),
+            lambda g, t, tgt: FaultEvent(
+                time=t,
+                kind="server_slowdown",
+                target=tgt,
+                duration=float(g.uniform(*slowdown_duration)),
+                magnitude=float(g.uniform(*slowdown_factor)),
+            ),
+        )
+        _draw(
+            "server_outage",
+            server_outage_rate,
+            list(range(n_servers)),
+            lambda g, t, tgt: FaultEvent(
+                time=t,
+                kind="server_outage",
+                target=tgt,
+                duration=float(g.uniform(*outage_duration)),
+            ),
+        )
+        _draw(
+            "memory_shock",
+            memory_shock_rate,
+            fault_nodes,
+            lambda g, t, tgt: FaultEvent(
+                time=t,
+                kind="memory_shock",
+                target=tgt,
+                duration=float(g.uniform(*shock_duration)),
+                magnitude=float(int(g.integers(shock_bytes[0], shock_bytes[1] + 1))),
+            ),
+        )
+        _draw(
+            "node_failure",
+            node_failure_rate,
+            fault_nodes,
+            lambda g, t, tgt: FaultEvent(
+                time=t,
+                kind="node_failure",
+                target=tgt,
+                duration=failure_duration,
+                magnitude=failure_slowdown,
+            ),
+        )
+        return cls(events)

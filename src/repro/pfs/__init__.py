@@ -6,8 +6,16 @@ queueing, and an optional byte-accurate datastore for correctness runs.
 """
 
 from .datastore import SparseFile
-from .filesystem import ParallelFileSystem
+from .filesystem import IOAbandonedError, ParallelFileSystem, RetryPolicy
 from .layout import StripeLayout
-from .server import IOServer
+from .server import IOServer, ServerUnavailableError
 
-__all__ = ["IOServer", "ParallelFileSystem", "SparseFile", "StripeLayout"]
+__all__ = [
+    "IOAbandonedError",
+    "IOServer",
+    "ParallelFileSystem",
+    "RetryPolicy",
+    "ServerUnavailableError",
+    "SparseFile",
+    "StripeLayout",
+]

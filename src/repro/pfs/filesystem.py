@@ -20,6 +20,7 @@ integrity independent of timing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -31,9 +32,57 @@ from repro.sim import Environment
 
 from .datastore import SparseFile
 from .layout import StripeLayout
-from .server import IOServer
+from .server import IOServer, ServerUnavailableError
 
-__all__ = ["ParallelFileSystem"]
+__all__ = ["IOAbandonedError", "ParallelFileSystem", "RetryPolicy"]
+
+
+class IOAbandonedError(RuntimeError):
+    """A server request was abandoned after exhausting its retry budget."""
+
+    def __init__(self, server_id: int, attempts: int):
+        super().__init__(
+            f"abandoned request to I/O server {server_id} "
+            f"after {attempts} attempts"
+        )
+        self.server_id = server_id
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Degraded-mode client policy: per-request timeout + capped backoff.
+
+    With a policy attached to the file system, every per-server request is
+    raced against `request_timeout`; a timed-out or outage-rejected
+    attempt backs off ``min(backoff_base * 2**k, backoff_cap)`` seconds
+    and retries, up to `max_retries` times, after which the request is
+    abandoned with :class:`IOAbandonedError`.  Retries and abandons are
+    counted on the file system (``io_retries`` / ``io_abandons``).
+
+    The policy is deliberately *timing-neutral in the absence of faults*:
+    a request that completes before its timeout finishes at exactly the
+    same simulated instant it would without the policy.
+    """
+
+    request_timeout: float = 5.0
+    backoff_base: float = 0.01
+    backoff_cap: float = 1.0
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        if self.backoff_base <= 0:
+            raise ValueError("backoff_base must be positive")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number `attempt` (1-based), seconds."""
+        return min(self.backoff_base * (2.0 ** (attempt - 1)), self.backoff_cap)
 
 #: Above this many blocks, per-server accounting for noncontiguous patterns
 #: switches from exact per-block mapping to an even approximation.
@@ -62,6 +111,7 @@ class ParallelFileSystem:
         spec: StorageSpec,
         datastore: Optional[SparseFile] = None,
         queue_depth: int = 1,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.env = env
         self.spec = spec
@@ -80,6 +130,11 @@ class ParallelFileSystem:
         self.datastore = datastore
         self.bytes_written = 0
         self.bytes_read = 0
+        #: Degraded-mode client policy; None = fail-fast (no retries).
+        self.retry = retry
+        #: Cumulative retry/abandon counters across all clients.
+        self.io_retries = 0
+        self.io_abandons = 0
 
     # ------------------------------------------------------------------
     # accounting helpers
@@ -122,6 +177,39 @@ class ParallelFileSystem:
     # ------------------------------------------------------------------
     # timing core
     # ------------------------------------------------------------------
+    def _serve_with_retry(self, server: IOServer, nbytes: int, requests: int,
+                          write: bool):
+        """Process generator: one server request under the retry policy.
+
+        Races the service against the per-request timeout; outage
+        rejections and timeouts back off exponentially (capped) and
+        retry.  Exhausting the budget raises :class:`IOAbandonedError`.
+        """
+        policy = self.retry
+        env = self.env
+        attempt = 0
+        while True:
+            attempt += 1
+            proc = env.process(
+                server.serve(nbytes, requests, write=write),
+                name=f"pfs.ost{server.server_id}.try{attempt}",
+            )
+            timer = env.timeout(policy.request_timeout)
+            try:
+                which, _ = yield env.any_of([proc, timer])
+            except ServerUnavailableError:
+                pass  # rejected at issue or while queued: retry below
+            else:
+                if which == 0:
+                    return  # served within the timeout
+                if proc.is_alive:
+                    proc.interrupt("pfs-request-timeout")
+            if attempt > policy.max_retries:
+                self.io_abandons += 1
+                raise IOAbandonedError(server.server_id, attempt)
+            self.io_retries += 1
+            yield env.timeout(policy.backoff(attempt))
+
     def _do_io(self, client: Node, plan: list[tuple[int, int, int]], write: bool):
         """Run one client I/O against the servers in `plan`, in parallel.
 
@@ -138,20 +226,25 @@ class ParallelFileSystem:
             req = nic.request()
             yield req
             try:
+                # storage traffic rides the same (possibly fenced) NIC as
+                # rank-to-rank messages, so it degrades with the node
                 yield env.timeout(
-                    client.spec.nic_latency + total / client.spec.nic_bandwidth
+                    client.spec.nic_latency
+                    + total * client.failure_slowdown
+                    / client.spec.nic_bandwidth
                 )
             finally:
                 nic.release(req)
 
         procs = [env.process(nic_hold(), name="pfs.nic")]
         for server_id, nbytes, requests in plan:
-            procs.append(
-                env.process(
-                    self.servers[server_id].serve(nbytes, requests, write=write),
-                    name=f"pfs.ost{server_id}",
+            if self.retry is None:
+                gen = self.servers[server_id].serve(nbytes, requests, write=write)
+            else:
+                gen = self._serve_with_retry(
+                    self.servers[server_id], nbytes, requests, write
                 )
-            )
+            procs.append(env.process(gen, name=f"pfs.ost{server_id}"))
         yield env.all_of(procs)
         if write:
             self.bytes_written += total

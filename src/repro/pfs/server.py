@@ -8,13 +8,35 @@ default) and charges::
 The per-request overhead is the mechanism that makes many small requests
 slower than one large request — the inefficiency collective I/O exists to
 remove.
+
+Fault model.  Real object servers degrade and disappear transiently
+(failing RAID rebuilds, network partitions, controller resets), so the
+server carries two injectable states:
+
+* a **degradation factor** — service time is multiplied by it, modelling a
+  slowed but live server;
+* an **unavailable state** (outage windows, reference-counted so windows
+  can overlap) — new requests are rejected with
+  :class:`ServerUnavailableError` and, on entering an outage, queued
+  waiters are failed too, so clients back off and retry instead of parking
+  behind a dead queue.
 """
 
 from __future__ import annotations
 
 from repro.sim import Environment, Resource
 
-__all__ = ["IOServer"]
+__all__ = ["IOServer", "ServerUnavailableError"]
+
+
+class ServerUnavailableError(RuntimeError):
+    """The target I/O server is inside an outage window."""
+
+    def __init__(self, server_id: int, message: str = ""):
+        super().__init__(
+            message or f"I/O server {server_id} is unavailable (outage)"
+        )
+        self.server_id = server_id
 
 
 class IOServer:
@@ -58,20 +80,69 @@ class IOServer:
         #: Totals for metrics.
         self.bytes_served = 0
         self.requests_served = 0
+        #: Fault-model state and counters.
+        self.degradation = 1.0
+        self._outages = 0
+        self.outage_rejections = 0
 
+    # ------------------------------------------------------------------
+    # fault-injection surface
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """False while at least one outage window is open."""
+        return self._outages == 0
+
+    def set_degradation(self, factor: float) -> None:
+        """Set the service-time multiplier (1.0 = healthy)."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1.0")
+        self.degradation = float(factor)
+
+    def begin_outage(self) -> None:
+        """Open an outage window; queued waiters are failed immediately."""
+        self._outages += 1
+        failed = self.queue.fail_waiters(
+            ServerUnavailableError(self.server_id)
+        )
+        self.outage_rejections += failed
+
+    def end_outage(self) -> None:
+        """Close one outage window (windows may overlap)."""
+        if self._outages <= 0:
+            raise RuntimeError(
+                f"end_outage without begin_outage on server {self.server_id}"
+            )
+        self._outages -= 1
+
+    # ------------------------------------------------------------------
     def service_time(self, nbytes: int, requests: int = 1, write: bool = False) -> float:
-        """Time to serve `requests` requests totalling `nbytes`."""
+        """Healthy-state time to serve `requests` requests totalling `nbytes`."""
         if nbytes < 0 or requests < 0:
             raise ValueError("nbytes/requests must be >= 0")
         bw = self.bandwidth * (self.write_bandwidth_factor if write else 1.0)
         return requests * self.request_overhead + nbytes / bw
 
     def serve(self, nbytes: int, requests: int = 1, write: bool = False):
-        """Process generator: queue for the server and hold it for service."""
+        """Process generator: queue for the server and hold it for service.
+
+        Raises :class:`ServerUnavailableError` if the server is inside an
+        outage window when the request is issued or granted; clients are
+        expected to back off and retry (see
+        :class:`~repro.pfs.filesystem.RetryPolicy`).  Safe against
+        interruption at any point: the queue slot is always reclaimed.
+        """
+        if not self.available:
+            self.outage_rejections += 1
+            raise ServerUnavailableError(self.server_id)
         req = self.queue.request()
-        yield req
         try:
-            yield self.env.timeout(self.service_time(nbytes, requests, write=write))
+            yield req
+            if not self.available:
+                self.outage_rejections += 1
+                raise ServerUnavailableError(self.server_id)
+            t = self.service_time(nbytes, requests, write=write)
+            yield self.env.timeout(t * self.degradation)
             self.bytes_served += nbytes
             self.requests_served += requests
         finally:

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from .engine import Environment, Event, SimulationError
+from .engine import NORMAL, Environment, Event, SimulationError
 
 __all__ = ["Resource", "Request", "Container"]
 
@@ -44,6 +44,17 @@ class Request(Event):
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+
+    def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
+        """Fail the request, releasing its queued slot if still waiting.
+
+        Without this, a queued request whose event is failed (e.g. by a
+        fault injector declaring the resource's owner unavailable) would
+        eventually be granted a slot nobody releases — a capacity leak
+        that deadlocks the queue.
+        """
+        self.resource._discard_waiter(self)
+        return super().fail(exception, priority=priority)
 
     def __enter__(self) -> "Request":
         return self
@@ -123,7 +134,9 @@ class Resource:
     def release(self, request: Request) -> None:
         """Return a previously granted slot.
 
-        Releasing a request that was never granted (still queued) cancels it.
+        Releasing a request that was never granted (still queued) cancels
+        it.  Releasing a request that was *failed* while queued (see
+        :meth:`Request.fail`) is a no-op: the slot was already reclaimed.
         """
         if request in self._holders:
             self._account()
@@ -133,13 +146,38 @@ class Resource:
             try:
                 self._waiters.remove(request)
             except ValueError:
+                if request._exception is not None:
+                    # failed while queued: already discarded from the
+                    # queue, nothing left to release
+                    return
                 raise SimulationError(
                     f"release of unknown request on resource {self.name!r}"
                 ) from None
 
+    def _discard_waiter(self, request: Request) -> None:
+        """Drop `request` from the wait queue if present (fail/cancel path)."""
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
+    def fail_waiters(self, exception: BaseException) -> int:
+        """Fail every queued (ungranted) request with `exception`.
+
+        Used by fault injectors to abort processes queued behind an
+        outage instead of leaving them parked until the resource frees.
+        Holders are unaffected.  Returns the number of requests failed.
+        """
+        waiting = list(self._waiters)
+        for req in waiting:
+            req.fail(exception)
+        return len(waiting)
+
     def _grant_next(self) -> None:
         while self._waiters and len(self._holders) < self.capacity:
             nxt = self._waiters.popleft()
+            if nxt.triggered:  # failed/cancelled while queued; skip
+                continue
             self._account()
             self._holders.add(nxt)
             nxt.succeed(nxt)

@@ -1,0 +1,220 @@
+"""Graceful degradation: planning fallbacks and chaos determinism."""
+
+import numpy as np
+import pytest
+
+import repro.core.engine as engine_mod
+from repro.cluster.background import BackgroundLoad
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO
+from repro.core.aggregator_selection import PlacementError
+from repro.core.request import AccessPattern, StridedSegment
+from repro.faults import FaultInjector, FaultSchedule
+
+from tests.helpers import make_stack, rank_payload
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def make_engine(stack, **kw):
+    defaults = dict(
+        msg_group=64 * MIB, msg_ind=64 * MIB, mem_min=0, nah=2,
+        cb_buffer_size=64 * KIB,
+    )
+    defaults.update(kw)
+    return MemoryConsciousCollectiveIO(
+        stack.comm, stack.pfs, MCIOConfig(**defaults)
+    )
+
+
+def contiguous_patterns(n, width):
+    return [AccessPattern.contiguous(r * width, width) for r in range(n)]
+
+
+def roundtrip_write(stack, engine, make_pattern):
+    payloads = {}
+
+    def main(ctx):
+        pattern = make_pattern(ctx.rank)
+        payloads[ctx.rank] = rank_payload(ctx.rank, pattern.nbytes)
+        yield from engine.write(ctx, pattern, payloads[ctx.rank].copy())
+
+    stack.run_spmd(main)
+    return payloads
+
+
+def verify_contiguous(stack, payloads, width):
+    for rank, payload in payloads.items():
+        got = stack.pfs.datastore.read(rank * width, width)
+        np.testing.assert_array_equal(
+            got, payload, err_msg=f"rank {rank} data corrupt"
+        )
+
+
+class TestPlanFailurePaths:
+    def test_mem_min_floor_raises_enriched_error(self):
+        stack = make_stack()
+        engine = make_engine(stack, mem_min=10**15, allow_paged_fallback=False)
+        patterns = contiguous_patterns(stack.comm.size, 64 * KIB)
+        memory = {n: 10**6 for n in range(3)}
+        with pytest.raises(PlacementError) as exc_info:
+            engine.plan(patterns, memory)
+        err = exc_info.value
+        assert err.group_id is not None
+        assert err.domain is not None
+        assert err.best_mem_avl is not None
+        assert err.best_mem_avl < 10**15
+
+    def test_paged_fallback_disabled_raises(self):
+        stack = make_stack()
+        engine = make_engine(stack, allow_paged_fallback=False)
+        patterns = contiguous_patterns(stack.comm.size, 1 * MIB)
+        # nothing fits anywhere: every placement would page
+        memory = {n: 1024 for n in range(3)}
+        with pytest.raises(PlacementError):
+            engine.plan(patterns, memory)
+
+    def test_paged_fallback_enabled_plans_anyway(self):
+        stack = make_stack()
+        engine = make_engine(stack)
+        patterns = contiguous_patterns(stack.comm.size, 1 * MIB)
+        memory = {n: 1024 for n in range(3)}
+        plan = engine.plan(patterns, memory)
+        assert any(d.paged for d in plan.domains)
+
+    def test_failed_nodes_soft_excluded(self):
+        stack = make_stack()
+        engine = make_engine(stack)
+        patterns = contiguous_patterns(stack.comm.size, 256 * KIB)
+        memory = {n: 10**8 for n in range(3)}
+        plan = engine.plan(patterns, memory, failed_nodes=frozenset({0}))
+        for d in plan.domains:
+            assert stack.comm.placement[d.aggregator_rank] != 0
+
+
+class TestFallbackChain:
+    WIDTH = 256 * KIB
+
+    def test_placement_failure_degrades_to_two_phase(self):
+        stack = make_stack()
+        engine = make_engine(
+            stack, mem_min=10**15, allow_paged_fallback=False,
+            fallback_chain=True,
+        )
+        payloads = roundtrip_write(
+            stack, engine, lambda r: AccessPattern.contiguous(
+                r * self.WIDTH, self.WIDTH)
+        )
+        stats = engine.history[-1]
+        assert stats.degraded_tier == "two-phase"
+        assert stats.tier == "two-phase"
+        assert stats.extra.get("fallback_reason")
+        verify_contiguous(stack, payloads, self.WIDTH)
+
+    def test_placement_failure_without_chain_raises(self):
+        stack = make_stack()
+        engine = make_engine(
+            stack, mem_min=10**15, allow_paged_fallback=False,
+            fallback_chain=False,
+        )
+        with pytest.raises(PlacementError):
+            roundtrip_write(
+                stack, engine, lambda r: AccessPattern.contiguous(
+                    r * self.WIDTH, self.WIDTH)
+            )
+
+    def test_two_phase_failure_degrades_to_independent(self, monkeypatch):
+        stack = make_stack()
+        engine = make_engine(
+            stack, mem_min=10**15, allow_paged_fallback=False,
+            fallback_chain=True,
+        )
+        monkeypatch.setattr(
+            engine, "_two_phase_plan", lambda *a, **kw: None
+        )
+        payloads = roundtrip_write(
+            stack, engine, lambda r: AccessPattern.contiguous(
+                r * self.WIDTH, self.WIDTH)
+        )
+        stats = engine.history[-1]
+        assert stats.degraded_tier == "independent"
+        verify_contiguous(stack, payloads, self.WIDTH)
+
+
+class TestUnionBlockLimit:
+    def test_covering_extent_fallback_preserves_data(self, monkeypatch):
+        """Forcing the per-round union past the limit must only cost
+        accuracy of the I/O accounting, never correctness."""
+        monkeypatch.setattr(engine_mod, "_UNION_BLOCK_LIMIT", 2)
+        stack = make_stack()
+        engine = make_engine(stack)
+        chunk, blocks = 4 * KIB, 16
+        n = stack.comm.size
+
+        def pattern(rank):
+            return AccessPattern(
+                (StridedSegment(rank * chunk, chunk, n * chunk, blocks),)
+            )
+
+        payloads = roundtrip_write(stack, engine, pattern)
+        for rank, payload in payloads.items():
+            for i in range(blocks):
+                got = stack.pfs.datastore.read(
+                    rank * chunk + i * n * chunk, chunk
+                )
+                np.testing.assert_array_equal(
+                    got, payload[i * chunk:(i + 1) * chunk]
+                )
+
+
+class TestChaosDeterminism:
+    """Same seed => byte-identical stats, even under background churn
+    and injected faults."""
+
+    WIDTH = 256 * KIB
+
+    def _chaos_run(self, seed):
+        stack = make_stack(seed=seed, memory_bytes=10**7)
+        load = BackgroundLoad(
+            stack.cluster, mean_bytes=8 * 10**6, sigma_bytes=10**6,
+            period=0.05,
+        )
+        load.start()
+        schedule = FaultSchedule.generate(
+            seed,
+            horizon=5.0,
+            n_servers=len(stack.pfs.servers),
+            n_nodes=3,
+            server_slowdown_rate=0.5,
+            server_outage_rate=0.2,
+            memory_shock_rate=0.5,
+            node_failure_rate=0.2,
+            failure_duration=1.0,
+            spare_nodes=(2,),
+        )
+        injector = FaultInjector(stack.env, stack.cluster, stack.pfs, schedule)
+        injector.start()
+        from repro.pfs import RetryPolicy
+
+        stack.pfs.retry = RetryPolicy(
+            request_timeout=30.0, backoff_base=0.01, backoff_cap=0.2,
+            max_retries=25,
+        )
+        engine = make_engine(stack, nah=4)
+        roundtrip_write(
+            stack, engine, lambda r: AccessPattern.contiguous(
+                r * self.WIDTH, self.WIDTH)
+        )
+        injector.stop()
+        load.stop()
+        return engine.history[-1]
+
+    def test_same_seed_identical_stats(self):
+        a = self._chaos_run(11)
+        b = self._chaos_run(11)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = self._chaos_run(11)
+        b = self._chaos_run(12)
+        assert a != b

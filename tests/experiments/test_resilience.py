@@ -1,0 +1,71 @@
+"""Chaos-sweep experiment: acceptance checks for degraded-mode I/O."""
+
+import pytest
+
+from repro.experiments import resilience
+
+
+@pytest.fixture(scope="module")
+def result():
+    return resilience.run(fault_rates=(0.0, 1.0))
+
+
+def by_cell(result):
+    return {(p.fault_rate, p.strategy): p for p in result.points}
+
+
+class TestChaosSweep:
+    def test_all_cells_complete(self, result):
+        assert len(result.points) == 6
+        assert all(p.completed for p in result.points)
+
+    def test_rate_zero_matches_static_bit_identical(self, result):
+        """With no faults, the degraded-mode hooks add zero events: the
+        failover-enabled engine must match the static one exactly."""
+        cells = by_cell(result)
+        a = cells[(0.0, "mcio")].stats
+        b = cells[(0.0, "mcio-static")].stats
+        assert a.elapsed == b.elapsed
+        assert a.rounds_total == b.rounds_total
+        assert a.io_retries == b.io_retries == 0
+        assert a.failovers == 0
+
+    def test_faulted_cells_exercise_both_recovery_paths(self, result):
+        cells = by_cell(result)
+        p = cells[(1.0, "mcio")]
+        assert p.outages >= 1
+        assert p.node_failures >= 1
+        assert p.stats.io_retries > 0
+        assert p.stats.failovers >= 1
+        assert p.stats.extra.get("failover_targets")
+
+    def test_failover_beats_static_under_faults(self, result):
+        cells = by_cell(result)
+        degraded = cells[(1.0, "mcio")].stats
+        static = cells[(1.0, "mcio-static")].stats
+        assert static.failovers == 0
+        assert degraded.elapsed < static.elapsed
+
+    def test_no_abandoned_requests(self, result):
+        assert all(p.stats.io_abandons == 0 for p in result.points)
+
+    def test_render_table(self, result):
+        table = result.render()
+        assert "failovers" in table
+        assert "mcio-static" in table
+        assert "two-phase" in table
+
+
+class TestSchedule:
+    def test_rate_zero_schedule_empty(self):
+        assert len(resilience.chaos_schedule(0, 0.0, 8.0, 4, 3)) == 0
+
+    def test_nonzero_rate_pins_both_fault_kinds(self):
+        sched = resilience.chaos_schedule(0, 0.25, 8.0, 4, 3)
+        assert sched.count("server_outage") >= 1
+        assert sched.count("node_failure") >= 1
+
+    def test_schedule_deterministic(self):
+        a = resilience.chaos_schedule(3, 1.0, 8.0, 4, 3)
+        b = resilience.chaos_schedule(3, 1.0, 8.0, 4, 3)
+        assert a.events == b.events

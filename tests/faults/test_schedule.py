@@ -1,0 +1,149 @@
+"""Unit tests for FaultEvent / FaultSchedule."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultSchedule
+
+
+class TestFaultEvent:
+    def test_windowed_event_end(self):
+        ev = FaultEvent(time=1.0, kind="server_outage", target=0, duration=0.5)
+        assert ev.end == 1.5
+
+    def test_permanent_failure_has_no_end(self):
+        ev = FaultEvent(time=1.0, kind="node_failure", target=0)
+        assert ev.duration is None
+        assert ev.end is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="disk_fire", target=0, duration=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=-1.0, kind="node_failure", target=0)
+
+    def test_only_node_failure_may_be_permanent(self):
+        for kind in FAULT_KINDS:
+            if kind == "node_failure":
+                FaultEvent(time=0.0, kind=kind, target=0, duration=None)
+            else:
+                with pytest.raises(ValueError):
+                    FaultEvent(time=0.0, kind=kind, target=0, duration=None)
+
+    def test_slowdown_magnitude_floor(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=0.0, kind="server_slowdown", target=0,
+                duration=1.0, magnitude=0.5,
+            )
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="node_failure", target=0, magnitude=0.9)
+
+    def test_shock_magnitude_is_bytes(self):
+        with pytest.raises(ValueError):
+            FaultEvent(
+                time=0.0, kind="memory_shock", target=0,
+                duration=1.0, magnitude=0.25,
+            )
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(time=0.0, kind="server_outage", target=0, duration=0.0)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_time(self):
+        sched = FaultSchedule(
+            [
+                FaultEvent(time=2.0, kind="node_failure", target=0),
+                FaultEvent(time=0.5, kind="server_outage", target=1, duration=1.0),
+                FaultEvent(time=1.0, kind="memory_shock", target=1,
+                           duration=1.0, magnitude=1024),
+            ]
+        )
+        assert [e.time for e in sched] == [0.5, 1.0, 2.0]
+        assert len(sched) == 3
+
+    def test_count_by_kind(self):
+        sched = FaultSchedule(
+            [
+                FaultEvent(time=0.0, kind="node_failure", target=0),
+                FaultEvent(time=1.0, kind="node_failure", target=1),
+                FaultEvent(time=0.5, kind="server_outage", target=0, duration=1.0),
+            ]
+        )
+        assert sched.count("node_failure") == 2
+        assert sched.count("server_outage") == 1
+        assert sched.count("memory_shock") == 0
+
+    def test_merged_keeps_order(self):
+        a = FaultSchedule([FaultEvent(time=2.0, kind="node_failure", target=0)])
+        b = [FaultEvent(time=1.0, kind="server_outage", target=0, duration=0.1)]
+        merged = a.merged(b)
+        assert len(merged) == 2
+        assert [e.time for e in merged] == [1.0, 2.0]
+        assert len(a) == 1  # original untouched
+
+
+class TestGenerate:
+    KW = dict(
+        horizon=10.0,
+        n_servers=4,
+        n_nodes=8,
+        server_slowdown_rate=0.4,
+        server_outage_rate=0.3,
+        memory_shock_rate=0.5,
+        node_failure_rate=0.2,
+    )
+
+    def test_same_seed_identical(self):
+        a = FaultSchedule.generate(7, **self.KW)
+        b = FaultSchedule.generate(7, **self.KW)
+        assert a.events == b.events
+        assert len(a) > 0
+
+    def test_different_seed_differs(self):
+        a = FaultSchedule.generate(7, **self.KW)
+        b = FaultSchedule.generate(8, **self.KW)
+        assert a.events != b.events
+
+    def test_kind_streams_independent(self):
+        """Adding one kind must not perturb another kind's draws."""
+        full = FaultSchedule.generate(7, **self.KW)
+        only_shocks = FaultSchedule.generate(
+            7, horizon=10.0, n_servers=4, n_nodes=8, memory_shock_rate=0.5
+        )
+        shocks = [e for e in full if e.kind == "memory_shock"]
+        assert tuple(shocks) == only_shocks.events
+
+    def test_zero_rates_empty(self):
+        sched = FaultSchedule.generate(7, horizon=10.0, n_servers=4, n_nodes=8)
+        assert len(sched) == 0
+
+    def test_times_and_targets_in_range(self):
+        sched = FaultSchedule.generate(7, **self.KW)
+        for ev in sched:
+            assert 0.0 <= ev.time < 10.0
+            if ev.kind.startswith("server"):
+                assert 0 <= ev.target < 4
+            else:
+                assert 0 <= ev.target < 8
+
+    def test_spare_nodes_exempt(self):
+        sched = FaultSchedule.generate(
+            7,
+            horizon=50.0,
+            n_servers=2,
+            n_nodes=3,
+            memory_shock_rate=1.0,
+            node_failure_rate=1.0,
+            spare_nodes=(2,),
+        )
+        node_faults = [e for e in sched if not e.kind.startswith("server")]
+        assert node_faults, "expected node faults at these rates"
+        assert all(e.target != 2 for e in node_faults)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.generate(7, horizon=0.0, n_servers=1, n_nodes=1)

@@ -1,0 +1,154 @@
+"""Resource failure paths: failed/cancelled waiters must not leak slots."""
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError
+
+
+class TestFailedWaiter:
+    def test_failed_queued_request_raises_into_waiter(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def waiter(env):
+            req = res.request()
+            try:
+                yield req
+            except RuntimeError as exc:
+                log.append(("failed", str(exc), env.now))
+
+        def breaker(env):
+            yield env.timeout(1)
+            res.fail_waiters(RuntimeError("outage"))
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.process(breaker(env))
+        env.run()
+        assert log == [("failed", "outage", 1)]
+
+    def test_failed_waiter_does_not_consume_slot(self):
+        """After the holder releases, the failed waiter must be skipped
+        and the slot granted to the next live waiter."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def doomed(env):
+            req = res.request()
+            try:
+                yield req
+            except RuntimeError:
+                pass
+
+        def survivor(env):
+            yield env.timeout(2)  # queue behind the doomed waiter
+            req = res.request()
+            yield req
+            log.append(("acq", env.now))
+            res.release(req)
+
+        def breaker(env):
+            yield env.timeout(1)
+            res.fail_waiters(RuntimeError("outage"))
+
+        env.process(holder(env))
+        env.process(doomed(env))
+        env.process(survivor(env))
+        env.process(breaker(env))
+        env.run()
+        assert log == [("acq", 5)]
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_release_of_failed_request_is_noop(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def waiter(env):
+            req = res.request()
+            try:
+                yield req
+            except RuntimeError:
+                pass
+            finally:
+                res.release(req)  # must be tolerated
+
+        def breaker(env):
+            yield env.timeout(1)
+            res.fail_waiters(RuntimeError("outage"))
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.process(breaker(env))
+        env.run()
+        assert res.in_use == 0
+
+    def test_release_of_unknown_request_still_raises(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def proc(env):
+            req = res.request()
+            yield req
+            res.release(req)
+            with pytest.raises(SimulationError):
+                res.release(req)
+
+        env.process(proc(env))
+        env.run()
+
+    def test_fail_waiters_returns_count_and_spares_holders(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        counts = {}
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+            counts["holder_done"] = env.now
+
+        def waiter(env):
+            req = res.request()
+            try:
+                yield req
+            except RuntimeError:
+                pass
+
+        def breaker(env):
+            yield env.timeout(1)
+            counts["failed"] = res.fail_waiters(RuntimeError("outage"))
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.process(waiter(env))
+        env.process(breaker(env))
+        env.run()
+        assert counts["failed"] == 2
+        assert counts["holder_done"] == 5
+
+    def test_fail_waiters_empty_queue_is_zero(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        assert res.fail_waiters(RuntimeError("outage")) == 0
