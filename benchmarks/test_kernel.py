@@ -1,0 +1,205 @@
+"""Kernel-tier micro-benchmarks for the fast-path optimisations.
+
+Three groups, matching the three optimised layers:
+
+* **event loop** — raw discrete-event throughput of the simulation
+  kernel on a long chain of unit delays.  The chain uses
+  ``Environment.sleep`` (the pooled, allocation-free fast path) when
+  the tree provides it and falls back to ``Environment.timeout`` on
+  older trees, so running this same file on an earlier commit measures
+  the end-to-end win of the fast path;
+* **shuffle round** — one lockstep exchange round (every member sends
+  to every aggregator), per simulated message versus pooled into one
+  wire transfer per (source node, aggregator node) with a counting
+  receive on the aggregator side;
+* **remerge-heavy planning** — MCIO planning under memory pressure,
+  where aggregator placement restarts repeatedly remerge the partition
+  tree and re-query subtree extents.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=BENCH_2.json
+
+The resulting ``BENCH_2.json`` is the trajectory artifact compared
+across PRs; these tests also assert functional results so a silent
+fast-path regression fails loudly rather than just slowly.
+"""
+
+from repro.cluster import Cluster, ClusterSpec, NodeSpec, StorageSpec, block_placement
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO
+from repro.core.request import AccessPattern, StridedSegment
+from repro.mpi import SimComm
+from repro.pfs import ParallelFileSystem, SparseFile
+from repro.sim import Environment, RngFactory
+
+
+# ---------------------------------------------------------------------------
+# event-loop throughput
+# ---------------------------------------------------------------------------
+def _spin(n_steps):
+    env = Environment()
+
+    def ticker(env, n):
+        # pooled-sleep fast path where available, plain timeouts otherwise
+        delay = getattr(env, "sleep", env.timeout)
+        for _ in range(n):
+            yield delay(1.0)
+
+    env.process(ticker(env, n_steps))
+    env.run()
+    return env.now
+
+
+def test_event_loop_chain(benchmark):
+    """A 20k-step chain of unit delays: pure kernel event throughput."""
+    assert benchmark(_spin, 20_000) == 20_000.0
+
+
+# ---------------------------------------------------------------------------
+# shuffle round: per-message vs batched granularity
+# ---------------------------------------------------------------------------
+N_RANKS, N_NODES, CORES = 48, 12, 4
+
+
+def _shuffle_stack():
+    env = Environment()
+    spec = ClusterSpec(
+        nodes=N_NODES,
+        node=NodeSpec(
+            cores=CORES,
+            memory_bytes=10**9,
+            memory_bandwidth=1e8,
+            memory_channels=2,
+            nic_bandwidth=1e7,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=4,
+            server_bandwidth=1e6,
+            request_overhead=1e-3,
+            stripe_size=256,
+        ),
+    )
+    cluster = Cluster(env, spec, RngFactory(42))
+    comm = SimComm(env, cluster, block_placement(N_RANKS, N_NODES, CORES))
+    pfs = ParallelFileSystem(env, spec.storage, datastore=SparseFile())
+    return env, comm, pfs
+
+
+MSG_BYTES = 1024
+
+
+class _ShuffleRoundBench:
+    """One lockstep shuffle round: every member sends to every aggregator.
+
+    This isolates the exchange machinery the fast path targets (the
+    O(members x aggregators) message pattern of two-phase I/O) from
+    planning, request algebra, and the PFS — those have their own
+    benchmarks.  The timed unit is one full round: sends or pooled
+    batches, the aggregators' receives, and the closing barrier.
+    """
+
+    def __init__(self, mode):
+        assert mode in ("per-message", "batched")
+        self.mode = mode
+        self.env, self.comm, _ = _shuffle_stack()
+        #: One aggregator per node: its first rank.
+        self.aggs = [self.comm.ranks_on_node(nid)[0] for nid in range(N_NODES)]
+        self.round_no = 0
+
+    def run_round(self):
+        comm, aggs = self.comm, self.aggs
+        agg_set = frozenset(aggs)
+        t = self.round_no
+        self.round_no += 1
+        batched = self.mode == "batched"
+        tag = ("sh", t)
+        n_senders = comm.size - len(aggs)
+        received = [0]
+
+        def main(ctx):
+            rank = ctx.rank
+            if rank in agg_set:
+                if batched:
+                    msgs = yield from comm.recv_many(ctx, n_senders, tag=tag)
+                    received[0] += len(msgs)
+                else:
+                    for _ in range(n_senders):
+                        yield from comm.recv(ctx, tag=tag)
+                        received[0] += 1
+            elif batched:
+                my_node = comm.node_id_of_rank(rank)
+                # same-node aggregators keep the shared-memory path ...
+                for agg in aggs:
+                    if comm.node_id_of_rank(agg) == my_node:
+                        yield from comm.send(ctx, agg, MSG_BYTES, tag=tag)
+                # ... and this rank's whole remote fan-out is one deposit:
+                # the node's senders pool one staged transfer per
+                # destination node
+                n_local = sum(
+                    1 for r in comm.ranks_on_node(my_node) if r not in agg_set
+                )
+                remote = [
+                    (rank, agg, MSG_BYTES, tag, None)
+                    for agg in aggs
+                    if comm.node_id_of_rank(agg) != my_node
+                ]
+                yield from comm.staged_batched_send(
+                    ctx, ("sh", t, my_node), n_local, remote
+                )
+            else:
+                for agg in aggs:
+                    yield from comm.send(ctx, agg, MSG_BYTES, tag=tag)
+            yield from comm.barrier(ctx)
+
+        comm.run_spmd(main)
+        return received[0]
+
+
+def test_shuffle_round_per_message(benchmark):
+    """Reference path: one simulated message per (member, aggregator) pair."""
+    bench = _ShuffleRoundBench("per-message")
+    assert benchmark(bench.run_round) == (N_RANKS - N_NODES) * N_NODES
+
+
+def test_shuffle_round_batched(benchmark):
+    """Fast path: pooled wire transfers + counting receives."""
+    bench = _ShuffleRoundBench("batched")
+    assert benchmark(bench.run_round) == (N_RANKS - N_NODES) * N_NODES
+
+
+# ---------------------------------------------------------------------------
+# remerge-heavy planning
+# ---------------------------------------------------------------------------
+def test_remerge_heavy_planning(benchmark):
+    """MCIO planning under memory pressure: placement restarts + remerges."""
+    n_ranks, n_nodes, cores = 64, 8, 8
+    env = Environment()
+    spec = ClusterSpec(nodes=n_nodes, node=NodeSpec(cores=cores))
+    cluster = Cluster(env, spec, RngFactory(0))
+    comm = SimComm(env, cluster, block_placement(n_ranks, n_nodes, cores))
+    pfs = ParallelFileSystem(env, spec.storage)
+    engine = MemoryConsciousCollectiveIO(
+        comm,
+        pfs,
+        MCIOConfig(
+            msg_group=1 << 22,
+            msg_ind=1 << 14,  # fine leaves: deep trees, many remerges
+            mem_min=0,
+            nah=2,
+            min_buffer=1,
+        ),
+    )
+    block = 1 << 13
+    stride = block * n_ranks
+    patterns = [
+        AccessPattern((StridedSegment(r * block, block, stride, 16),))
+        for r in range(n_ranks)
+    ]
+    # skewed availability forces placement restarts (and thus remerging)
+    avail = {i: (1 << 16) if i % 2 else (1 << 24) for i in range(n_nodes)}
+
+    def run():
+        return len(engine.plan(patterns, dict(avail)).domains)
+
+    assert benchmark(run) > 0

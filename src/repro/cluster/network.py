@@ -97,6 +97,32 @@ class Network:
             return None
         return node.node_id // self.rack_size
 
+    def link_cost(
+        self, src: "Node", dst: "Node"
+    ) -> tuple[float, float, list[Resource]]:
+        """The single shared cost model for a ``src -> dst`` wire.
+
+        Returns ``(latency, wire_bandwidth, uplinks)``: the per-message
+        injection latency, the effective bytes/second of the path (NIC
+        speeds, narrowed to the uplink speed when the transfer crosses
+        rack boundaries), and the uplink resources the transfer must hold
+        (empty in flat topologies or within a rack).
+
+        Both :meth:`transfer` (the simulated data path) and
+        :meth:`estimate_transfer_time` (the planning estimate) derive
+        their arithmetic from this one function, so the two can never
+        drift apart.
+        """
+        wire_bw = min(src.spec.nic_bandwidth, dst.spec.nic_bandwidth)
+        uplinks: list[Resource] = []
+        src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
+        if src_rack is not None and src_rack != dst_rack:
+            wire_bw = min(wire_bw, self.uplink_bandwidth)
+            # acquire in rack-id order (uniform hierarchy: no deadlock)
+            lo, hi = sorted((src_rack, dst_rack))
+            uplinks = [self._uplinks[lo], self._uplinks[hi]]
+        return src.spec.nic_latency, wire_bw, uplinks
+
     def transfer(self, src: "Node", dst: "Node", nbytes: int, paged_dst: bool = False):
         """Process generator: move `nbytes` from `src` to `dst`.
 
@@ -115,27 +141,57 @@ class Network:
             raise ValueError("nbytes must be >= 0")
         if src.node_id == dst.node_id:
             self.intra_node_bytes += nbytes
-            yield self.env.timeout(self.intra_node_latency)
+            yield self.env.sleep(self.intra_node_latency)
             yield from src.memcopy(nbytes, paged=paged_dst)
             return
-
         self.inter_node_bytes += nbytes
         self.inter_node_messages += 1
-        wire_bw = min(src.spec.nic_bandwidth, dst.spec.nic_bandwidth)
-        # racked topology: transfers crossing rack boundaries also hold
-        # both racks' uplinks and run at uplink speed if slower
-        uplinks: list[Resource] = []
-        src_rack, dst_rack = self.rack_of(src), self.rack_of(dst)
-        if src_rack is not None and src_rack != dst_rack:
-            wire_bw = min(wire_bw, self.uplink_bandwidth)
-            # acquire in rack-id order (uniform hierarchy: no deadlock)
-            lo, hi = sorted((src_rack, dst_rack))
-            uplinks = [self._uplinks[lo], self._uplinks[hi]]
+        yield from self._wire(src, dst, nbytes, 1, paged_dst)
+
+    def batched_transfer(
+        self, src: "Node", dst: "Node", sizes: list[int], paged_dst: bool = False
+    ):
+        """Process generator: move `len(sizes)` messages as one transfer.
+
+        The closed-form serialization model for aggregated shuffle
+        traffic: the constituent messages ride the wire back-to-back, so
+        the batch charges every message's injection latency once up front
+        (``latency * n``) and then streams ``sum(sizes)`` bytes through
+        the same chunked NIC/uplink machinery as :meth:`transfer`.  Byte
+        and message accounting match `n` individual transfers; what
+        disappears is the per-message simulation events, not the cost.
+        """
+        total = 0
+        for s in sizes:
+            if s < 0:
+                raise ValueError("nbytes must be >= 0")
+            total += s
+        n = len(sizes)
+        if n == 0:
+            return
+        if src.node_id == dst.node_id:
+            self.intra_node_bytes += total
+            yield self.env.sleep(self.intra_node_latency * n)
+            yield from src.memcopy(total, paged=paged_dst)
+            return
+        self.inter_node_bytes += total
+        self.inter_node_messages += n
+        yield from self._wire(src, dst, total, n, paged_dst)
+
+    def _wire(
+        self, src: "Node", dst: "Node", nbytes: int, n_messages: int,
+        paged_dst: bool,
+    ):
+        """Chunked inter-node wire movement shared by both transfer paths."""
+        latency, wire_bw, uplinks = self.link_cost(src, dst)
+        if uplinks:
             self.inter_rack_bytes += nbytes
-        yield self.env.timeout(src.spec.nic_latency)
+        env = self.env
+        yield env.sleep(latency * n_messages)
+        chunk_bytes = self.chunk_bytes
         sent = 0
         while sent < nbytes or (nbytes == 0 and sent == 0):
-            chunk = min(self.chunk_bytes, max(0, nbytes - sent))
+            chunk = min(chunk_bytes, max(0, nbytes - sent))
             wire_time = chunk / wire_bw
             if paged_dst:
                 wire_time *= dst.memory.current_paging_factor
@@ -160,7 +216,7 @@ class Network:
                     req = uplink.request()
                     yield req
                     held.append((uplink, req))
-                yield self.env.timeout(wire_time)
+                yield env.sleep(wire_time)
             finally:
                 for resource, req in reversed(held):
                     resource.release(req)
@@ -169,8 +225,13 @@ class Network:
                 break
 
     def estimate_transfer_time(self, src: "Node", dst: "Node", nbytes: int) -> float:
-        """Uncontended transfer time (no queueing), for planning/tuning."""
+        """Uncontended transfer time (no queueing), for planning/tuning.
+
+        Built on :meth:`link_cost`, the same arithmetic the simulated
+        data path uses, so an uncontended :meth:`transfer` takes exactly
+        this long.
+        """
         if src.node_id == dst.node_id:
             return self.intra_node_latency + nbytes / src.channel_bandwidth
-        wire_bw = min(src.spec.nic_bandwidth, dst.spec.nic_bandwidth)
-        return src.spec.nic_latency + nbytes / wire_bw
+        latency, wire_bw, _uplinks = self.link_cost(src, dst)
+        return latency + nbytes / wire_bw

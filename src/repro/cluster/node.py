@@ -80,7 +80,7 @@ class Node:
             if self.failed:
                 factor *= self.failure_slowdown
             t = self.memory.copy_time(nbytes, self.channel_bandwidth) * factor
-            yield self.env.timeout(t)
+            yield self.env.sleep(t)
         finally:
             self.mem_bus.release(req)
 

@@ -77,9 +77,13 @@ def candidate_hosts(
         ``host node id -> ranks of that host with data in the domain``
         (rank-ordered).
     """
+    lo, hi = domain.offset, domain.end
     hosts: dict[int, list[int]] = {}
     for r in ranks:
-        if patterns[r].bytes_in(domain.offset, domain.end) > 0:
+        p = patterns[r]
+        if p.empty or p.start >= hi or p.end <= lo:
+            continue
+        if p.bytes_in(lo, hi) > 0:
             hosts.setdefault(placement[r], []).append(r)
     return hosts
 
@@ -139,10 +143,18 @@ def place_aggregators(
         host_state = {}
     for node, avail in memory_available.items():
         host_state.setdefault(node, _HostState(available=int(avail)))
+    # Remerging restarts the whole pass, and most leaves survive a
+    # remerge with their extents untouched — so candidate-host sets and
+    # per-host local byte counts are memoised by extent across passes.
+    # A remerge only *creates* extents (the absorber's grows), so stale
+    # keys are simply never queried again.
+    cand_cache: dict[tuple[int, int], dict[int, list[int]]] = {}
+    local_cache: dict[tuple[int, int, int], int] = {}
     max_passes = tree.n_leaves + 1
     for _ in range(max_passes):
         result = _try_assign(
-            tree, group_id, ranks, patterns, placement, host_state, config
+            tree, group_id, ranks, patterns, placement, host_state, config,
+            cand_cache, local_cache,
         )
         if result is not None:
             domains, tentative = result
@@ -182,11 +194,15 @@ def _try_assign(
     placement: Sequence[int],
     base_state: Mapping[int, "_HostState"],
     config: MCIOConfig,
+    cand_cache: dict[tuple[int, int], dict[int, list[int]]],
+    local_cache: dict[tuple[int, int, int], int],
 ):
     """One assignment pass over a copy of `base_state`.
 
     Returns ``(domains, tentative_state)`` on success, or None if a
-    remerge happened (the caller restarts the pass).
+    remerge happened (the caller restarts the pass).  `cand_cache` and
+    `local_cache` memoise candidate hosts / per-host local bytes by
+    domain extent across restarted passes.
     """
     hosts: dict[int, _HostState] = {
         node: _HostState(
@@ -201,7 +217,12 @@ def _try_assign(
         domain = leaf.extent
         nominal = max(1, min(config.cb_buffer_size, domain.length))
         requirement = max(config.mem_min, nominal)
-        candidates = candidate_hosts(domain, ranks, patterns, placement)
+        cand_key = (domain.offset, domain.end)
+        candidates = cand_cache.get(cand_key)
+        if candidates is None:
+            candidates = cand_cache[cand_key] = candidate_hosts(
+                domain, ranks, patterns, placement
+            )
         if not candidates:
             # a domain with no requesting process can appear when the
             # region contains request gaps; fold it into a neighbour
@@ -229,10 +250,14 @@ def _try_assign(
             # accesses in intra-node and inter-node layer"); memory is the
             # tie-break
             def _local_bytes(node: int) -> int:
-                return sum(
-                    patterns[r].bytes_in(domain.offset, domain.end)
-                    for r in candidates[node]
-                )
+                key = (domain.offset, domain.end, node)
+                total = local_cache.get(key)
+                if total is None:
+                    total = local_cache[key] = sum(
+                        patterns[r].bytes_in(domain.offset, domain.end)
+                        for r in candidates[node]
+                    )
+                return total
 
             pool = satisfied
             best = max(

@@ -10,10 +10,21 @@ Two engines, two configs:
   plus the same nominal buffer size the evaluation sweeps.
 
 ``shuffle_granularity`` trades simulation fidelity for event count:
-``"round"`` sends one shuffle message per (rank, aggregator, round) like
-the real protocol; ``"domain"`` batches a rank's traffic to an aggregator
-into one message per file domain and charges the extra per-round latency
-analytically — required to simulate 1000+ rank runs in reasonable time.
+
+* ``"round"`` sends one shuffle message per (rank, aggregator, round)
+  like the real protocol — the reference fidelity level;
+* ``"batched"`` keeps the lockstep round structure and every byte of
+  traffic, but aggregates each round's shuffle into one wire transfer
+  per (source node, aggregator) pair with a closed-form serialization
+  model (``latency x n_messages`` up front, then the summed bytes) —
+  same data delivered, far fewer simulation events.  When fault
+  machinery is engaged (mid-run failover enabled, or hosts already
+  failed) execution silently falls back to the per-message ``"round"``
+  path so degraded-mode behaviour stays exact;
+* ``"domain"`` batches a rank's traffic to an aggregator into one
+  message per file domain and charges the extra per-round latency
+  analytically — required to simulate 1000+ rank runs in reasonable
+  time, at the cost of under-charging synchronisation stalls.
 """
 
 from __future__ import annotations
@@ -25,13 +36,13 @@ from repro.cluster.spec import MIB
 
 __all__ = ["TwoPhaseConfig", "MCIOConfig", "ShuffleGranularity"]
 
-ShuffleGranularity = Literal["round", "domain"]
+ShuffleGranularity = Literal["round", "batched", "domain"]
 
 
 def _check_common(cb_buffer_size: int, shuffle_granularity: str) -> None:
     if cb_buffer_size < 1:
         raise ValueError("cb_buffer_size must be >= 1")
-    if shuffle_granularity not in ("round", "domain"):
+    if shuffle_granularity not in ("round", "batched", "domain"):
         raise ValueError(f"bad shuffle_granularity {shuffle_granularity!r}")
 
 

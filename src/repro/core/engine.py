@@ -65,6 +65,47 @@ class ExecutionPlan:
     def __post_init__(self) -> None:
         if len(self.domains) != len(self.senders):
             raise ValueError("domains and senders length mismatch")
+        # per-(domain, window) sender memo, shared by every rank running
+        # this plan (the instance is shared across the whole collective)
+        object.__setattr__(self, "_window_senders", {})
+
+    def window_senders(
+        self, did: int, lo: int, hi: int, patterns: Sequence[AccessPattern]
+    ) -> list[int]:
+        """Ranks of ``senders[did]`` with bytes in ``[lo, hi)``, memoized.
+
+        Callers must treat the returned list as immutable — it is shared
+        across every rank of the collective.
+        """
+        key = (did, lo, hi)
+        cached = self._window_senders.get(key)
+        if cached is None:
+            senders = [
+                r
+                for r in self.senders[did]
+                # bounding-interval pre-check before the per-segment walk
+                if patterns[r].start < hi and patterns[r].end > lo
+                and patterns[r].bytes_in(lo, hi) > 0
+            ]
+            cached = (senders, frozenset(senders))
+            self._window_senders[key] = cached
+        return cached[0]
+
+    def is_window_sender(
+        self, rank: int, did: int, lo: int, hi: int,
+        patterns: Sequence[AccessPattern],
+    ) -> bool:
+        """Whether `rank` has bytes in window ``[lo, hi)`` of domain `did`.
+
+        One shared pattern scan per window serves every rank's
+        membership check — the per-rank cost is a set lookup.
+        """
+        key = (did, lo, hi)
+        cached = self._window_senders.get(key)
+        if cached is None:
+            self.window_senders(did, lo, hi, patterns)
+            cached = self._window_senders[key]
+        return rank in cached[1]
 
     @classmethod
     def build(
@@ -220,8 +261,11 @@ def execute_collective(
         This rank's data buffer (write: source, read: destination), or
         None for metadata-only runs.
     granularity:
-        ``"round"`` (lockstep, like ROMIO) or ``"domain"`` (streaming,
-        for very large runs) — see module docstring.
+        ``"round"`` (lockstep, like ROMIO), ``"batched"`` (lockstep with
+        node-aggregated shuffle transfers; falls back to ``"round"``
+        whenever fault machinery is engaged so degraded-mode behaviour
+        stays exact) or ``"domain"`` (streaming, for very large runs) —
+        see module docstring.
     failover_config:
         An :class:`~repro.core.config.MCIOConfig` to enable mid-run
         aggregator failover (between lockstep rounds, ``"round"``
@@ -235,8 +279,15 @@ def execute_collective(
     """
     if op not in ("write", "read"):
         raise ValueError(f"op must be 'write' or 'read', got {op!r}")
-    if granularity not in ("round", "domain"):
+    if granularity not in ("round", "batched", "domain"):
         raise ValueError(f"bad granularity {granularity!r}")
+    if granularity == "batched" and (
+        failover_config is not None
+        or any(node.failed for node in comm.cluster.nodes)
+    ):
+        # the aggregated fast path has no per-message hooks for mid-run
+        # failover or degraded hosts; keep fault runs on the exact path
+        granularity = "round"
     env = ctx.env
     stats.mark_start(env.now)
     run = _RunContext(ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload)
@@ -253,6 +304,8 @@ def execute_collective(
     try:
         if granularity == "round":
             yield from _run_lockstep(run)
+        elif granularity == "batched":
+            yield from _run_batched(run)
         else:
             yield from _run_streaming(run)
     finally:
@@ -283,8 +336,8 @@ def _alloc_aggregator_buffer(run: _RunContext, did: int, domain: FileDomain):
 # ---------------------------------------------------------------------------
 def _run_lockstep(run: _RunContext):
     ctx, comm = run.ctx, run.comm
-    my_pattern = run.patterns[ctx.rank]
-    ntimes = run.plan.ntimes
+    plan, patterns = run.plan, run.patterns
+    ntimes = plan.ntimes
     for t in range(ntimes):
         if run.failover_config is not None:
             yield from _failover_check(run, t)
@@ -302,7 +355,9 @@ def _run_lockstep(run: _RunContext):
                         name=f"rank{ctx.rank}.agg{did}.r{t}",
                     )
                 )
-            if my_pattern.bytes_in(window.offset, window.end) > 0:
+            if plan.is_window_sender(
+                ctx.rank, did, window.offset, window.end, patterns
+            ):
                 procs.append(
                     ctx.spawn(
                         _member_window(run, did, window, t),
@@ -370,6 +425,115 @@ def _failover_check(run: _RunContext, t: int):
         run.stats.extra["failover_kept"] = (
             run.stats.extra.get("failover_kept", 0) + len(decision.kept)
         )
+
+
+# ---------------------------------------------------------------------------
+# batched execution (lockstep rounds, node-aggregated wire transfers)
+# ---------------------------------------------------------------------------
+def _run_batched(run: _RunContext):
+    """Lockstep rounds with node-aggregated shuffle transfers.
+
+    Same round structure, barrier discipline, and bytes delivered as
+    :func:`_run_lockstep`, but each round's inter-node shuffle crosses
+    the wire as one batched transfer per (source node, aggregator) pair:
+    write contributors stage their bytes to a per-node leader over the
+    intra-node path and the leader issues one closed-form
+    :meth:`~repro.mpi.comm.SimComm.batched_send`; read aggregators
+    scatter with one batched send per destination node.  Co-located
+    members keep the per-rank shared-memory path either way.
+    """
+    ctx, comm = run.ctx, run.comm
+    plan, patterns = run.plan, run.patterns
+    ntimes = plan.ntimes
+    for t in range(ntimes):
+        procs = []
+        for did, domain in enumerate(run.domains):
+            window = _round_extent(domain, t)
+            if window is None:
+                continue
+            if domain.aggregator_rank == ctx.rank:
+                procs.append(
+                    ctx.spawn(
+                        _aggregator_window_batched(
+                            run, did, window, t, run.paged_flags[did]
+                        ),
+                        name=f"rank{ctx.rank}.agg{did}.r{t}",
+                    )
+                )
+            if plan.is_window_sender(
+                ctx.rank, did, window.offset, window.end, patterns
+            ):
+                procs.append(
+                    ctx.spawn(
+                        _member_window_batched(run, did, window, t),
+                        name=f"rank{ctx.rank}.m{did}.r{t}",
+                    )
+                )
+        if procs:
+            yield ctx.env.all_of(procs)
+        yield from comm.barrier(ctx)
+
+
+def _aggregator_window_batched(
+    run: _RunContext, did: int, window: Extent, t: int, paged: bool
+):
+    if run.op == "write":
+        yield from _collect_and_write(
+            run, did, window, t, paged, io_rounds=None, batched=True
+        )
+    else:
+        yield from _read_and_scatter(
+            run, did, window, t, paged, io_rounds=None, batched=True
+        )
+
+
+def _member_window_batched(run: _RunContext, did: int, window: Extent, t: int):
+    """Member role for one batched round: pooled node-level write shuffle.
+
+    Reads are unchanged on the member side — the aggregator's batched
+    scatter still delivers one logical message per member, so the plain
+    recv/unpack path applies.
+    """
+    if run.op == "read":
+        yield from _member_exchange(run, did, window, t)
+        return
+    ctx, comm = run.ctx, run.comm
+    domain = run.domains[did]
+    my_pattern = run.patterns[ctx.rank]
+    agg = domain.aggregator_rank
+    my_node = comm.node_id_of_rank(ctx.rank)
+    same_node = comm.node_id_of_rank(agg) == my_node
+    q = my_pattern.clip(window.offset, window.end)
+    if q.empty:
+        return
+    tag = (run.op_seq, did, t)
+    data = (
+        _pack_payload(my_pattern, run.payload, q)
+        if run.payload is not None
+        else None
+    )
+    run.stats.record_shuffle(q.nbytes, same_node=same_node)
+    agg_node = comm.node_of_rank(agg)
+    paged_wire = domain.paged or agg_node.memory.overcommitted
+    if same_node:
+        # co-located contributions keep the per-rank shared-memory path
+        yield from comm.send(
+            ctx, agg, q.nbytes, tag=tag, payload=data, paged_dst=paged_wire
+        )
+        return
+    # remote contributors on one node pool their round contribution into
+    # a single wire transfer (intra-node staging hops + one batch)
+    n_local = 0
+    for r in _expected_senders(run, did, window):
+        if comm.node_id_of_rank(r) == my_node:
+            n_local += 1
+    yield from comm.staged_batched_send(
+        ctx,
+        ("stg", run.op_seq, did, t, my_node),
+        n_local,
+        (ctx.rank, agg, q.nbytes, tag, data),
+        paged_dst=paged_wire,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -446,11 +610,9 @@ def _member_streaming(run: _RunContext, did: int):
 # aggregator side
 # ---------------------------------------------------------------------------
 def _expected_senders(run: _RunContext, did: int, window: Extent) -> list[int]:
-    return [
-        r
-        for r in run.plan.senders[did]
-        if run.patterns[r].bytes_in(window.offset, window.end) > 0
-    ]
+    return run.plan.window_senders(
+        did, window.offset, window.end, run.patterns
+    )
 
 
 def _aggregator_window(
@@ -480,14 +642,28 @@ def _aggregator_streaming(run: _RunContext, did: int, paged: bool):
         yield from _read_and_scatter(run, did, domain.extent, 0, paged, io_rounds)
 
 
-def _collect_and_write(run, did, window, t, paged, io_rounds):
-    """Receive all contributions for `window`, assemble, write to the PFS."""
+def _collect_and_write(run, did, window, t, paged, io_rounds, batched=False):
+    """Receive all contributions for `window`, assemble, write to the PFS.
+
+    With `batched`, the contributions are drained with one counting
+    :meth:`~repro.mpi.comm.SimComm.recv_many` instead of one posted
+    receive per message (same arrival order, same completion time —
+    unpacking costs no simulated time — but one resume per round).
+    """
     ctx, comm, pfs, env = run.ctx, run.comm, run.pfs, run.ctx.env
     expected = _expected_senders(run, did, window)
+    if batched:
+        msgs = yield from comm.recv_many(
+            ctx, len(expected), tag=(run.op_seq, did, t)
+        )
+    else:
+        msgs = []
+        for _ in expected:
+            msg = yield from comm.recv(ctx, tag=(run.op_seq, did, t))
+            msgs.append(msg)
     buffer: Optional[np.ndarray] = None
     received = 0
-    for _ in expected:
-        msg = yield from comm.recv(ctx, tag=(run.op_seq, did, t))
+    for msg in msgs:
         received += msg.nbytes
         if msg.payload is not None:
             if buffer is None:
@@ -506,7 +682,7 @@ def _collect_and_write(run, did, window, t, paged, io_rounds):
     for i, io_window in enumerate(windows):
         if i > 0:
             # streaming mode: charge the skipped per-round synchronisation
-            yield env.timeout(run.node.spec.nic_latency)
+            yield env.sleep(run.node.spec.nic_latency)
         pieces = _union_extents(run.patterns, expected, io_window)
         for piece in pieces:
             data = None
@@ -517,8 +693,13 @@ def _collect_and_write(run, did, window, t, paged, io_rounds):
             run.stats.record_bytes(piece.length)
 
 
-def _read_and_scatter(run, did, window, t, paged, io_rounds):
-    """Read `window`'s requested extents, then send each rank its bytes."""
+def _read_and_scatter(run, did, window, t, paged, io_rounds, batched=False):
+    """Read `window`'s requested extents, then send each rank its bytes.
+
+    With `batched`, remote members' messages are grouped by destination
+    node and leave the aggregator as one
+    :meth:`~repro.mpi.comm.SimComm.batched_send` per node.
+    """
     ctx, comm, pfs, env = run.ctx, run.comm, run.pfs, run.ctx.env
     expected = _expected_senders(run, did, window)
     if not expected:
@@ -530,7 +711,7 @@ def _read_and_scatter(run, did, window, t, paged, io_rounds):
     total_read = 0
     for i, io_window in enumerate(windows):
         if i > 0:
-            yield env.timeout(run.node.spec.nic_latency)
+            yield env.sleep(run.node.spec.nic_latency)
         pieces = _union_extents(run.patterns, expected, io_window)
         for piece in pieces:
             data = yield from pfs.read_extent(run.node, piece)
@@ -545,6 +726,8 @@ def _read_and_scatter(run, did, window, t, paged, io_rounds):
     yield from run.node.memcopy(total_read, paged=paged)
 
     sends = []
+    by_node: dict[int, list] = {}
+    my_node = comm.node_id_of_rank(ctx.rank)
     for r in expected:
         q = run.patterns[r].clip(window.offset, window.end)
         data = None
@@ -553,10 +736,23 @@ def _read_and_scatter(run, did, window, t, paged, io_rounds):
             for off, ln, qbuf in q.iter_mapped_extents():
                 rel = off - window.offset
                 data[qbuf : qbuf + ln] = buffer[rel : rel + ln]
+        tag = (run.op_seq, did, t)
+        dest_node = comm.node_id_of_rank(r)
+        if batched and dest_node != my_node:
+            by_node.setdefault(dest_node, []).append(
+                (ctx.rank, r, q.nbytes, tag, data)
+            )
+            continue
         sends.append(
             comm.isend(
-                ctx, r, q.nbytes, tag=(run.op_seq, did, t), payload=data,
-                paged_dst=paged,
+                ctx, r, q.nbytes, tag=tag, payload=data, paged_dst=paged
+            )
+        )
+    for dest_node in sorted(by_node):
+        sends.append(
+            ctx.spawn(
+                comm.batched_send(ctx, by_node[dest_node], paged_dst=paged),
+                name=f"rank{ctx.rank}.bscat{did}.n{dest_node}",
             )
         )
     if sends:

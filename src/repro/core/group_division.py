@@ -63,10 +63,13 @@ class AggregationGroup:
 def _members(
     patterns: Sequence[AccessPattern], region: Extent
 ) -> tuple[int, ...]:
+    lo, hi = region.offset, region.end
     return tuple(
         r
         for r, p in enumerate(patterns)
-        if not p.empty and p.bytes_in(region.offset, region.end) > 0
+        # bounding-interval pre-check before the per-segment walk
+        if not p.empty and p.start < hi and p.end > lo
+        and p.bytes_in(lo, hi) > 0
     )
 
 

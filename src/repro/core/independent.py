@@ -21,6 +21,7 @@ from repro.core.metrics import CollectiveStats, StatsCollector
 from repro.core.request import AccessPattern, Extent
 from repro.mpi.comm import RankContext, SimComm
 from repro.pfs.filesystem import ParallelFileSystem
+from repro.sim import Resource
 
 __all__ = ["IndependentIO", "DataSievingIO"]
 
@@ -94,22 +95,43 @@ class DataSievingIO(_NonCollectiveBase):
 
     name = "data-sieving"
 
+    def __init__(self, comm: SimComm, pfs: ParallelFileSystem):
+        super().__init__(comm, pfs)
+        self._rmw_lock: Optional[Resource] = None
+
+    def _lock(self, ctx: RankContext) -> Resource:
+        """The shared sieving file lock (rebuilt if the env changed)."""
+        if self._rmw_lock is None or self._rmw_lock.env is not ctx.env:
+            self._rmw_lock = Resource(ctx.env, capacity=1, name="sieve.rmw")
+        return self._rmw_lock
+
     def write(self, ctx: RankContext, pattern: AccessPattern,
               payload: Optional[np.ndarray] = None):
-        """Process generator: read-modify-write of the covering extent."""
+        """Process generator: read-modify-write of the covering extent.
+
+        As in ROMIO, the read-modify-write holds a file lock: two ranks'
+        hulls may overlap even when their requested bytes are disjoint,
+        and an unserialized RMW would write back stale hole bytes over a
+        concurrent writer's data.
+        """
         seq, stats = self._begin(ctx, "write")
         if not pattern.empty:
             hull = Extent(pattern.start, pattern.end - pattern.start)
-            base = yield from self.pfs.read_extent(ctx.node, hull)
-            yield from ctx.node.memcopy(hull.length)
-            data = None
-            if base is not None and payload is not None:
-                data = np.array(base, dtype=np.uint8)
-                for off, ln, buf in pattern.iter_mapped_extents():
-                    data[off - hull.offset : off - hull.offset + ln] = (
-                        payload[buf : buf + ln]
-                    )
-            yield from self.pfs.write_extent(ctx.node, hull, data)
+            req = self._lock(ctx).request()
+            yield req
+            try:
+                base = yield from self.pfs.read_extent(ctx.node, hull)
+                yield from ctx.node.memcopy(hull.length)
+                data = None
+                if base is not None and payload is not None:
+                    data = np.array(base, dtype=np.uint8)
+                    for off, ln, buf in pattern.iter_mapped_extents():
+                        data[off - hull.offset : off - hull.offset + ln] = (
+                            payload[buf : buf + ln]
+                        )
+                yield from self.pfs.write_extent(ctx.node, hull, data)
+            finally:
+                self._lock(ctx).release(req)
             stats.record_bytes(pattern.nbytes)
         self._end(ctx, seq)
         return payload

@@ -94,11 +94,29 @@ class PartitionTree:
         if min_width < 2:
             raise ValueError("min_width must be >= 2")
         self.root = PartitionNode(region)
-        self.data_bytes = data_bytes
+        #: Memoised view of the caller's byte-count function: bisection,
+        #: rebalancing, and the restart-heavy remerge passes all re-query
+        #: the same subtree extents, and the underlying computation (a sum
+        #: of pattern clips over the group's ranks) is the expensive part
+        #: of planning.  Keyed by ``(lo, hi)``; the raw callable stays on
+        #: :attr:`_data_bytes_raw`.
+        self._data_bytes_raw = data_bytes
+        self._data_bytes_cache: dict[tuple[int, int], int] = {}
         self.msg_ind = int(msg_ind)
         self.stripe_size = int(stripe_size)
         self.min_width = int(min_width)
+        #: File-ordered live leaves, maintained incrementally by
+        #: :meth:`remerge` instead of re-walking the tree per query.
+        self._leaves: Optional[list[PartitionNode]] = None
         self._build(self.root)
+
+    def data_bytes(self, lo: int, hi: int) -> int:
+        """Requested bytes inside ``[lo, hi)``, memoised per extent."""
+        key = (lo, hi)
+        cached = self._data_bytes_cache.get(key)
+        if cached is None:
+            cached = self._data_bytes_cache[key] = self._data_bytes_raw(lo, hi)
+        return cached
 
     # ------------------------------------------------------------------
     # construction
@@ -136,7 +154,9 @@ class PartitionTree:
     # ------------------------------------------------------------------
     def leaves(self) -> list[PartitionNode]:
         """Live file domains in file order."""
-        return list(self._iter_leaves(self.root))
+        if self._leaves is None:
+            self._leaves = list(self._iter_leaves(self.root))
+        return list(self._leaves)
 
     def _iter_leaves(self, node: PartitionNode) -> Iterator[PartitionNode]:
         if node.is_leaf:
@@ -186,6 +206,13 @@ class PartitionTree:
             # becomes a leaf owning the merged region.
             parent.left = None
             parent.right = None
+            cache = self._leaves
+            if cache is not None:
+                i = cache.index(leaf)
+                if leaf_is_left:
+                    cache[i : i + 2] = [parent]
+                else:
+                    cache[i - 1 : i + 1] = [parent]
             return parent
 
         # Case 2: DFS inside the sibling subtree, visiting the side
@@ -220,9 +247,16 @@ class PartitionTree:
                 break
             assert node.parent is not None
             node = node.parent
+        cache = self._leaves
+        if cache is not None:
+            # the absorber object stays live with its extent expanded in
+            # place, so only the departing leaf drops out of the order
+            cache.remove(leaf)
         return absorber
 
     @property
     def n_leaves(self) -> int:
         """Number of live file domains."""
-        return sum(1 for _ in self._iter_leaves(self.root))
+        if self._leaves is None:
+            self._leaves = list(self._iter_leaves(self.root))
+        return len(self._leaves)

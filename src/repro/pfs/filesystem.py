@@ -228,7 +228,7 @@ class ParallelFileSystem:
             try:
                 # storage traffic rides the same (possibly fenced) NIC as
                 # rank-to-rank messages, so it degrades with the node
-                yield env.timeout(
+                yield env.sleep(
                     client.spec.nic_latency
                     + total * client.failure_slowdown
                     / client.spec.nic_bandwidth

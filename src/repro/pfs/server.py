@@ -142,7 +142,7 @@ class IOServer:
                 self.outage_rejections += 1
                 raise ServerUnavailableError(self.server_id)
             t = self.service_time(nbytes, requests, write=write)
-            yield self.env.timeout(t * self.degradation)
+            yield self.env.sleep(t * self.degradation)
             self.bytes_served += nbytes
             self.requests_served += requests
         finally:

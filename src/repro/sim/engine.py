@@ -32,6 +32,8 @@ Example
 from __future__ import annotations
 
 import heapq
+
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -174,11 +176,40 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._triggered = True
+        # flattened hot path: a Timeout is born triggered and scheduled,
+        # so initialisation and scheduling are fused into direct slot
+        # writes instead of chaining through Event.__init__/_schedule
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._exception = None
+        self._triggered = True
+        self._processed = False
+        self.delay = delay
+        seq = env._seq + 1
+        env._seq = seq
+        _heappush(env._queue, (env._now + delay, NORMAL, seq, self))
+
+
+class _PooledTimeout(Timeout):
+    """A recyclable timeout handed out by :meth:`Environment.sleep`.
+
+    The event loop returns processed instances to the environment's free
+    list, so hot paths that fire millions of plain delays stop churning
+    the allocator.  Never retain or compose one: it must be ``yield``-ed
+    immediately and forgotten (see :meth:`Environment.sleep`).
+
+    ``_waiter`` is the single-process fast path: when exactly one process
+    yields the sleep (the only supported pattern), its resume callback is
+    stored in this slot instead of the callbacks list, and the event loop
+    invokes it directly — no list append/iterate/clear per fired sleep.
+    """
+
+    __slots__ = ("_waiter",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        super().__init__(env, delay, value)
+        self._waiter: Optional[Callable[["Event"], None]] = None
 
 
 class Initialize(Event):
@@ -187,9 +218,16 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "Environment"):
-        super().__init__(env)
+        # flattened like Timeout: born triggered, scheduled urgently
+        self.env = env
+        self.callbacks = []
+        self._value = None
+        self._exception = None
         self._triggered = True
-        env._schedule(self, delay=0.0, priority=URGENT)
+        self._processed = False
+        seq = env._seq + 1
+        env._seq = seq
+        _heappush(env._queue, (env._now, URGENT, seq, self))
 
 
 class Process(Event):
@@ -201,7 +239,15 @@ class Process(Event):
     process to join it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = (
+        "_generator",
+        "_target",
+        "name",
+        "_send",
+        "_throw",
+        "_resume_cb",
+        "_sleep_cb",
+    )
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
@@ -211,8 +257,15 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         #: Event this process is currently waiting on (None if runnable).
         self._target: Optional[Event] = None
+        # bind the generator methods and the resume callbacks once — every
+        # wait re-registers a callback, and creating a fresh bound
+        # method per wait is measurable on the hot path
+        self._send = generator.send
+        self._throw = generator.throw
+        self._resume_cb = self._resume
+        self._sleep_cb = self._resume_sleep
         init = Initialize(env)
-        init.callbacks.append(self._resume)
+        init.callbacks.append(self._resume_cb)
 
     @property
     def is_alive(self) -> bool:
@@ -229,27 +282,30 @@ class Process(Event):
         if self._triggered:
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:  # pragma: no cover - already detached
-                pass
+        if target is not None:
+            if getattr(target, "_waiter", None) is self._sleep_cb:
+                target._waiter = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:  # pragma: no cover - already detached
+                    pass
         self._target = None
         carrier = Event(self.env)
-        carrier.callbacks.append(self._resume)
+        carrier.callbacks.append(self._resume_cb)
         carrier.fail(Interrupt(cause), priority=URGENT)
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the result of `event`."""
         self._target = None
+        send = self._send
         while True:
             try:
-                if event is None or event._exception is None:
-                    value = None if event is None else event._value
-                    next_target = self._generator.send(value)
+                if event._exception is None:
+                    next_target = send(event._value)
                 else:
-                    next_target = self._generator.throw(event._exception)
+                    next_target = self._throw(event._exception)
             except StopIteration as stop:
                 self._triggered = True
                 self._value = stop.value
@@ -265,7 +321,19 @@ class Process(Event):
                     self.env._crashed.append((self, exc))
                 return
 
-            if not isinstance(next_target, Event):
+            try:
+                if next_target._processed:
+                    # Already-processed events resume immediately (same time).
+                    event = next_target
+                    continue
+                if next_target.__class__ is _PooledTimeout and not next_target.callbacks:
+                    # sole-waiter fast path: skip the callbacks list entirely
+                    next_target._waiter = self._sleep_cb
+                else:
+                    next_target.callbacks.append(self._resume_cb)
+            except AttributeError:
+                # duck-typed event check: anything without the Event slots
+                # (e.g. a yielded None) lands here, off the hot path
                 exc2 = SimulationError(
                     f"process {self.name!r} yielded non-event {next_target!r}"
                 )
@@ -273,13 +341,53 @@ class Process(Event):
                 event._triggered = True
                 event._exception = exc2
                 continue
-            if next_target._processed:
-                # Already-processed events resume immediately (same time).
-                event = next_target
-                continue
-            next_target.callbacks.append(self._resume)
             self._target = next_target
             return
+
+    def _resume_sleep(self, event: Event) -> None:
+        """Advance the generator after a pooled sleep fired.
+
+        Only ever invoked through :attr:`_PooledTimeout._waiter`, which
+        :meth:`interrupt` detaches before throwing — so the resume is
+        always clean: no value, no exception, no checks.
+        """
+        try:
+            next_target = self._send(None)
+        except StopIteration as stop:
+            self._target = None
+            self._triggered = True
+            self._value = stop.value
+            self.env._schedule(self, delay=0.0)
+            return
+        except BaseException as exc:
+            self._target = None
+            self._triggered = True
+            self._exception = exc
+            self.env._schedule(self, delay=0.0)
+            if not self.callbacks:
+                self.env._crashed.append((self, exc))
+            return
+        try:
+            if next_target._processed:
+                # rare: already-processed target; generic path handles the
+                # immediate-resume loop
+                self._target = None
+                self._resume(next_target)
+                return
+            if next_target.__class__ is _PooledTimeout and not next_target.callbacks:
+                next_target._waiter = self._sleep_cb
+            else:
+                next_target.callbacks.append(self._resume_cb)
+        except AttributeError:
+            exc2 = SimulationError(
+                f"process {self.name!r} yielded non-event {next_target!r}"
+            )
+            carrier = Event(self.env)
+            carrier._triggered = True
+            carrier._exception = exc2
+            self._resume(carrier)
+            return
+        self._target = next_target
 
 
 class ConditionError(SimulationError):
@@ -299,13 +407,17 @@ class AllOf(Event):
         super().__init__(env)
         self._events = list(events)
         self._remaining = 0
+        on_sub = self._on_sub
         for ev in self._events:
             if ev._processed:
                 if ev._exception is not None:
                     self._check_fail(ev)
+                    # outcome decided: registering on the remaining
+                    # sub-events would only add dead callbacks
+                    break
             else:
                 self._remaining += 1
-                ev.callbacks.append(self._on_sub)
+                ev.callbacks.append(on_sub)
         if self._remaining == 0 and not self._triggered:
             self.succeed([ev._value for ev in self._events])
 
@@ -337,6 +449,7 @@ class AnyOf(Event):
         self._events = list(events)
         if not self._events:
             raise ValueError("AnyOf requires at least one event")
+        on_sub = self._on_sub
         for i, ev in enumerate(self._events):
             if ev._processed:
                 if ev._exception is not None:
@@ -344,18 +457,20 @@ class AnyOf(Event):
                 else:
                     self.succeed((i, ev._value))
                 return
-            ev.callbacks.append(self._make_cb(i))
+            ev.callbacks.append(on_sub)
 
-    def _make_cb(self, index: int) -> Callable[[Event], None]:
-        def _cb(ev: Event) -> None:
-            if self._triggered:
+    def _on_sub(self, ev: Event) -> None:
+        # one shared bound method instead of a closure per sub-event;
+        # the winner's index is resolved lazily, only when it fires
+        if self._triggered:
+            return
+        if ev._exception is not None:
+            self.fail(ev._exception)
+            return
+        for i, cand in enumerate(self._events):
+            if cand is ev:
+                self.succeed((i, ev._value))
                 return
-            if ev._exception is not None:
-                self.fail(ev._exception)
-            else:
-                self.succeed((index, ev._value))
-
-        return _cb
 
 
 class Environment:
@@ -367,6 +482,11 @@ class Environment:
         Starting value of the simulated clock (seconds).
     """
 
+    #: Upper bound on recycled sleep events kept per environment (large
+    #: enough that thousands of concurrently sleeping processes still
+    #: recycle instead of allocating; each pooled object is tiny).
+    _SLEEP_POOL_MAX = 4096
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -374,6 +494,8 @@ class Environment:
         #: Processes that died with an exception while nobody was joining
         #: them; ``run()`` re-raises the first of these.
         self._crashed: list[tuple[Process, BaseException]] = []
+        #: Free list of processed :class:`_PooledTimeout` objects.
+        self._sleep_pool: list[_PooledTimeout] = []
 
     @property
     def now(self) -> float:
@@ -390,6 +512,34 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Return an event firing `delay` seconds from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """Fast-path timeout for the "yield and forget" pattern.
+
+        Semantically identical to ``timeout(delay)`` (one event, same
+        scheduling order, same simulated cost: none beyond the delay),
+        but the returned object is recycled by the event loop once
+        processed.  Callers must ``yield`` it immediately and never
+        retain, re-yield, or compose it into :class:`AllOf`/:class:`AnyOf`
+        — after processing, the object may be handed out again by a later
+        ``sleep()`` call.  This is what the simulator's own hot paths
+        (network chunk loop, memory copies, storage service) use.
+        """
+        pool = self._sleep_pool
+        if not pool:
+            return _PooledTimeout(self, delay)
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        ev = pool.pop()
+        # minimal reset: callbacks is already an empty list (cleared on
+        # recycle), _value/_exception stay None (sleeps carry no value
+        # and fail() refuses triggered events), _triggered stays True
+        ev._processed = False
+        ev.delay = delay
+        seq = self._seq + 1
+        self._seq = seq
+        _heappush(self._queue, (self._now + delay, NORMAL, seq, ev))
+        return ev
 
     def event(self) -> Event:
         """Return a fresh untriggered event."""
@@ -408,7 +558,7 @@ class Environment:
     # ------------------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        _heappush(self._queue, (self._now + delay, priority, self._seq, event))
 
     def step(self) -> None:
         """Process the single next event in the queue."""
@@ -416,12 +566,29 @@ class Environment:
         if time < self._now:  # pragma: no cover - defensive
             raise SimulationError("event queue went backwards in time")
         self._now = time
-        callbacks = event.callbacks
-        event.callbacks = None
-        event._processed = True
-        if callbacks:
-            for cb in callbacks:
-                cb(event)
+        if type(event) is _PooledTimeout:
+            event._processed = True
+            waiter = event._waiter
+            if waiter is not None:
+                event._waiter = None
+                waiter(event)
+            callbacks = event.callbacks
+            if callbacks:
+                # registered after the waiter, so they run after it
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                callbacks.clear()
+                event.callbacks = callbacks  # list reused on the next sleep()
+            if len(self._sleep_pool) < self._SLEEP_POOL_MAX:
+                self._sleep_pool.append(event)
+        else:
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks:
+                for cb in callbacks:
+                    cb(event)
         if self._crashed:
             proc, exc = self._crashed[0]
             raise SimulationError(
@@ -450,13 +617,99 @@ class Environment:
             if stop_time < self._now:
                 raise ValueError("cannot run() into the past")
 
-        while self._queue:
-            if stop_event is not None and stop_event._processed:
-                return stop_event.value
-            if stop_time is not None and self._queue[0][0] > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # The hot loop is `step()` inlined: the queue, heappop, the sleep
+        # pool, and the crash list are bound to locals once, the
+        # defensive time check is dropped (pops are monotone by heap
+        # order), and the common single-callback case skips the loop.
+        queue = self._queue
+        pop = _heappop
+        crashed = self._crashed
+        pool = self._sleep_pool
+        pool_max = self._SLEEP_POOL_MAX
+        pooled_type = _PooledTimeout
+        check_stop = stop_event is not None or stop_time is not None
+        if not check_stop:
+            # run-to-exhaustion tight loop: identical body minus the
+            # per-event stop checks (this variant drains the benchmarked
+            # hot paths, where every comparison per event shows up)
+            while queue:
+                time, _priority, _seq, event = pop(queue)
+                self._now = time
+                if event.__class__ is pooled_type:
+                    # pooled sleeps: resume the sole waiter directly, then
+                    # recycle — no callbacks-list traffic on this path
+                    event._processed = True
+                    waiter = event._waiter
+                    if waiter is not None:
+                        event._waiter = None
+                        waiter(event)
+                    callbacks = event.callbacks
+                    if callbacks:
+                        # registered after the waiter, so they run after it
+                        event.callbacks = None
+                        for cb in callbacks:
+                            cb(event)
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                    if len(pool) < pool_max:
+                        pool.append(event)
+                else:
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    if callbacks:
+                        if len(callbacks) == 1:
+                            callbacks[0](event)
+                        else:
+                            for cb in callbacks:
+                                cb(event)
+                if crashed:
+                    proc, exc = crashed[0]
+                    raise SimulationError(
+                        f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
+                    ) from exc
+        while queue:
+            if check_stop:
+                if stop_event is not None and stop_event._processed:
+                    return stop_event.value
+                if stop_time is not None and queue[0][0] > stop_time:
+                    self._now = stop_time
+                    return None
+            time, _priority, _seq, event = pop(queue)
+            self._now = time
+            if event.__class__ is pooled_type:
+                # pooled sleeps: resume the sole waiter directly, then
+                # recycle — no callbacks-list traffic on this path
+                event._processed = True
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    waiter(event)
+                callbacks = event.callbacks
+                if callbacks:
+                    # registered after the waiter, so they run after it
+                    event.callbacks = None
+                    for cb in callbacks:
+                        cb(event)
+                    callbacks.clear()
+                    event.callbacks = callbacks
+                if len(pool) < pool_max:
+                    pool.append(event)
+            else:
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    if len(callbacks) == 1:
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+            if crashed:
+                proc, exc = crashed[0]
+                raise SimulationError(
+                    f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
+                ) from exc
 
         if stop_event is not None:
             if stop_event._processed:

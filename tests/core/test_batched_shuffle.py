@@ -1,0 +1,257 @@
+"""The ``"batched"`` shuffle granularity: correctness, accounting, fallback.
+
+Batched execution keeps the lockstep round structure but aggregates each
+round's inter-node shuffle into one wire transfer per (source node,
+aggregator) pair.  These tests pin what the fast path must preserve:
+
+* every byte lands where the per-message path would put it (writes and
+  reads, both engines);
+* shuffle byte accounting and inter-node message counts match the
+  per-message path;
+* far fewer wire events actually cross the network;
+* fault machinery (failover enabled, failed hosts) silently falls back
+  to the exact per-message path.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import MCIOConfig, TwoPhaseConfig
+from tests.goldens.cases import (
+    CLUSTER_CASES,
+    build_patterns,
+    make_engine,
+    _prefill,
+)
+from tests.helpers import make_stack, rank_payload
+
+
+def _stack_for(case):
+    stack = make_stack(
+        n_ranks=case.n_ranks,
+        n_nodes=case.n_nodes,
+        cores=case.cores,
+        stripe_size=case.stripe_size,
+    )
+    if case.memory_availability is not None:
+        stack.cluster.set_memory_availability(case.memory_availability)
+    return stack
+
+
+def _run(case, strategy, op, granularity, engine_factory=None):
+    """One collective; returns (stack, engine, patterns, payloads, results)."""
+    case = replace(case, granularity=granularity)
+    patterns = build_patterns(case)
+    stack = _stack_for(case)
+    engine = (
+        engine_factory(stack, case)
+        if engine_factory is not None
+        else make_engine(strategy, stack, case)
+    )
+    end = max(p.end for p in patterns if not p.empty)
+    if op == "write":
+        payloads = {
+            r: rank_payload(r, patterns[r].nbytes) for r in range(case.n_ranks)
+        }
+
+        def main(ctx):
+            yield from engine.write(
+                ctx, patterns[ctx.rank], payloads[ctx.rank].copy()
+            )
+
+        stack.run_spmd(main)
+        results = None
+    else:
+        payloads = None
+        _prefill(stack.pfs.datastore, end)
+
+        def main(ctx):
+            return (yield from engine.read(ctx, patterns[ctx.rank]))
+
+        results = stack.run_spmd(main)
+    return stack, engine, patterns, payloads, results
+
+
+def _file_bytes(stack, pattern):
+    if pattern.empty:
+        return np.array([], dtype=np.uint8)
+    return np.concatenate(
+        [
+            np.asarray(stack.pfs.datastore.read(off, ln), dtype=np.uint8)
+            for off, ln, _ in pattern.iter_mapped_extents()
+        ]
+    )
+
+
+@pytest.mark.parametrize("case", CLUSTER_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_two_phase_batched_is_byte_exact(case, op):
+    stack, _, patterns, payloads, results = _run(case, "two-phase", op, "batched")
+    for r in range(case.n_ranks):
+        want = (
+            payloads[r] if op == "write" else _file_bytes(stack, patterns[r])
+        )
+        got = (
+            _file_bytes(stack, patterns[r])
+            if op == "write"
+            else np.asarray(results[r], dtype=np.uint8)
+        )
+        assert np.array_equal(got, want), f"rank {r} bytes diverged"
+
+
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_mcio_batched_is_byte_exact(op):
+    """MCIO on the true batched path (failover off so it is not bypassed)."""
+    case = CLUSTER_CASES[0]
+
+    # make_engine builds MCIOConfig with failover default (True); rebuild
+    # explicitly with failover disabled so the batched path actually runs
+    from repro.core import MemoryConsciousCollectiveIO
+
+    def factory(stack, c):
+        return MemoryConsciousCollectiveIO(
+            stack.comm,
+            stack.pfs,
+            MCIOConfig(
+                msg_group=16 * 1024,
+                msg_ind=2 * 1024,
+                mem_min=0,
+                nah=2,
+                cb_buffer_size=c.cb_buffer_size,
+                min_buffer=1,
+                shuffle_granularity="batched",
+                failover=False,
+            ),
+        )
+
+    stack, _, patterns, payloads, results = _run(
+        case, "mcio", op, "batched", engine_factory=factory
+    )
+    for r in range(case.n_ranks):
+        want = (
+            payloads[r] if op == "write" else _file_bytes(stack, patterns[r])
+        )
+        got = (
+            _file_bytes(stack, patterns[r])
+            if op == "write"
+            else np.asarray(results[r], dtype=np.uint8)
+        )
+        assert np.array_equal(got, want), f"rank {r} bytes diverged"
+
+
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_batched_preserves_shuffle_accounting(op):
+    """Bytes and message counts match the per-message reference run."""
+    case = CLUSTER_CASES[0]
+    _, ref_engine, *_ = _run(case, "two-phase", op, "round")
+    _, fast_engine, *_ = _run(case, "two-phase", op, "batched")
+    ref, fast = ref_engine.history[0], fast_engine.history[0]
+    assert fast.total_bytes == ref.total_bytes
+    assert fast.shuffle_intra_node_bytes == ref.shuffle_intra_node_bytes
+    assert fast.shuffle_inter_node_bytes == ref.shuffle_inter_node_bytes
+    assert fast.rounds_total == ref.rounds_total
+    assert fast.aggregator_ranks == ref.aggregator_ranks
+
+
+def test_batched_network_message_accounting_matches():
+    """inter_node_messages counts constituent messages, not batches."""
+    case = CLUSTER_CASES[0]
+    ref_stack, *_ = _run(case, "two-phase", "write", "round")
+    fast_stack, *_ = _run(case, "two-phase", "write", "batched")
+    ref_net, fast_net = ref_stack.cluster.network, fast_stack.cluster.network
+    assert fast_net.inter_node_messages == ref_net.inter_node_messages
+    # staging contributions through node leaders adds intra-node traffic,
+    # it never *removes* inter-node bytes
+    assert fast_net.inter_node_bytes == ref_net.inter_node_bytes
+
+
+def test_batched_reduces_simulation_events():
+    """The point of the fast path: far fewer kernel events per collective."""
+    case = CLUSTER_CASES[1]  # 16 ranks / 4 nodes, interleaved
+
+    def count_events(granularity):
+        c = replace(case, granularity=granularity)
+        patterns = build_patterns(c)
+        stack = _stack_for(c)
+        engine = make_engine("two-phase", stack, c)
+        payloads = {
+            r: rank_payload(r, patterns[r].nbytes) for r in range(c.n_ranks)
+        }
+
+        def main(ctx):
+            yield from engine.write(
+                ctx, patterns[ctx.rank], payloads[ctx.rank].copy()
+            )
+
+        stack.run_spmd(main)
+        return stack.env._seq  # monotone event-sequence counter
+
+    assert count_events("batched") < count_events("round")
+
+
+def test_batched_falls_back_when_failover_enabled():
+    """failover_config forces the exact per-message path (same trace)."""
+    case = CLUSTER_CASES[0]
+
+    from repro.core import MemoryConsciousCollectiveIO
+
+    def factory(granularity):
+        def build(stack, c):
+            return MemoryConsciousCollectiveIO(
+                stack.comm,
+                stack.pfs,
+                MCIOConfig(
+                    msg_group=16 * 1024,
+                    msg_ind=2 * 1024,
+                    mem_min=0,
+                    nah=2,
+                    cb_buffer_size=c.cb_buffer_size,
+                    min_buffer=1,
+                    shuffle_granularity=granularity,
+                    failover=True,
+                ),
+            )
+
+        return build
+
+    ref_stack, ref_engine, *_ = _run(
+        case, "mcio", "write", "round", engine_factory=factory("round")
+    )
+    fb_stack, fb_engine, *_ = _run(
+        case, "mcio", "write", "batched", engine_factory=factory("batched")
+    )
+    # identical simulated trace: the batched request degraded to "round"
+    assert float(fb_stack.env.now).hex() == float(ref_stack.env.now).hex()
+    assert (
+        float(fb_engine.history[0].elapsed).hex()
+        == float(ref_engine.history[0].elapsed).hex()
+    )
+
+
+def test_batched_falls_back_when_hosts_failed():
+    """Pre-failed hosts route execution onto the per-message path."""
+    case = CLUSTER_CASES[0]
+    c = replace(case, granularity="batched")
+    patterns = build_patterns(c)
+    stack = _stack_for(c)
+    stack.cluster.nodes[1].fail(slowdown=4.0)
+    engine = make_engine("two-phase", stack, c)
+    payloads = {
+        r: rank_payload(r, patterns[r].nbytes) for r in range(c.n_ranks)
+    }
+
+    def main(ctx):
+        yield from engine.write(ctx, patterns[ctx.rank], payloads[ctx.rank].copy())
+
+    stack.run_spmd(main)
+    for r in range(c.n_ranks):
+        assert np.array_equal(_file_bytes(stack, patterns[r]), payloads[r])
+
+
+def test_bad_granularity_rejected():
+    with pytest.raises(ValueError):
+        TwoPhaseConfig(shuffle_granularity="bogus")
+    with pytest.raises(ValueError):
+        MCIOConfig(shuffle_granularity="bogus")

@@ -1,0 +1,272 @@
+"""Seeded property tests guarding the fast-path optimisations.
+
+Two families:
+
+* **Partition tree / remerge invariants** — under arbitrary seeded
+  remerge sequences the live leaves must tile the root region exactly
+  (no gap, no overlap), the incrementally maintained leaf cache must
+  equal a fresh DFS, and the memoised ``data_bytes`` values must equal
+  recomputation from the raw callable.
+* **Event-ordering invariants of the simulation kernel** — events fire
+  in ``(time, priority, sequence)`` total order under interleaved
+  timeouts, pooled sleeps, and interrupts, and the pooled
+  :meth:`~repro.sim.Environment.sleep` is observationally identical to
+  :meth:`~repro.sim.Environment.timeout`.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.partition_tree import PartitionTree
+from repro.core.request import AccessPattern, Extent
+from repro.sim import Environment, Interrupt
+
+
+# ---------------------------------------------------------------------------
+# partition tree / remerge
+# ---------------------------------------------------------------------------
+def _pattern_data_fn(patterns):
+    def data(lo, hi):
+        return sum(p.bytes_in(lo, hi) for p in patterns)
+
+    return data
+
+
+@st.composite
+def tree_workloads(draw):
+    """A region, a set of contiguous per-rank requests, and remerge picks."""
+    n_ranks = draw(st.integers(min_value=1, max_value=8))
+    patterns = []
+    pos = draw(st.integers(min_value=0, max_value=512))
+    start = pos
+    for _ in range(n_ranks):
+        gap = draw(st.integers(min_value=0, max_value=64))
+        length = draw(st.integers(min_value=1, max_value=800))
+        patterns.append(AccessPattern.contiguous(pos + gap, length))
+        pos += gap + length
+    region = Extent(start, pos - start)
+    msg_ind = draw(st.integers(min_value=1, max_value=600))
+    stripe = draw(st.sampled_from([0, 16, 64]))
+    # indices into the live leaf list, resolved modulo len at use time
+    picks = draw(st.lists(st.integers(min_value=0, max_value=63), max_size=12))
+    return region, patterns, msg_ind, stripe, picks
+
+
+def _fresh_dfs_leaves(tree):
+    """Leaf list recomputed by an independent walk (no caches)."""
+    out = []
+
+    def walk(node):
+        if node.left is None and node.right is None:
+            out.append(node)
+        else:
+            walk(node.left)
+            walk(node.right)
+
+    walk(tree.root)
+    return out
+
+
+@given(tree_workloads())
+@settings(max_examples=150, deadline=None)
+def test_remerge_preserves_tiling_and_caches(workload):
+    region, patterns, msg_ind, stripe, picks = workload
+    raw = _pattern_data_fn(patterns)
+    tree = PartitionTree(region, raw, msg_ind=msg_ind, stripe_size=stripe)
+    tree.check_invariant()
+
+    for pick in picks:
+        leaves = tree.leaves()
+        if len(leaves) <= 1:
+            break
+        tree.remerge(leaves[pick % len(leaves)])
+
+        # leaves tile the root region exactly: no gap, no overlap
+        tree.check_invariant()
+        # the incrementally maintained cache equals a fresh DFS
+        assert tree.leaves() == _fresh_dfs_leaves(tree)
+
+    # memoised byte counts equal recomputation from the raw callable
+    for (lo, hi), cached in tree._data_bytes_cache.items():
+        assert cached == raw(lo, hi)
+    for leaf in tree.leaves():
+        assert tree.data_bytes(leaf.extent.offset, leaf.extent.end) == raw(
+            leaf.extent.offset, leaf.extent.end
+        )
+
+
+@given(tree_workloads())
+@settings(max_examples=100, deadline=None)
+def test_leaves_disjoint_and_bounded(workload):
+    region, patterns, msg_ind, stripe, picks = workload
+    tree = PartitionTree(
+        region, _pattern_data_fn(patterns), msg_ind=msg_ind, stripe_size=stripe
+    )
+    for pick in picks:
+        leaves = tree.leaves()
+        if len(leaves) <= 1:
+            break
+        tree.remerge(leaves[pick % len(leaves)])
+    leaves = tree.leaves()
+    for a, b in zip(leaves, leaves[1:]):
+        assert a.extent.end == b.extent.offset  # adjacent, no overlap
+    assert leaves[0].extent.offset == region.offset
+    assert leaves[-1].extent.end == region.end
+    assert tree.n_leaves == len(leaves)
+
+
+def test_remerge_single_leaf_rejected():
+    tree = PartitionTree(Extent(0, 10), lambda lo, hi: 0, msg_ind=100)
+    with pytest.raises(ValueError):
+        tree.remerge(tree.leaves()[0])
+
+
+# ---------------------------------------------------------------------------
+# simulation kernel event ordering
+# ---------------------------------------------------------------------------
+@st.composite
+def timeout_schedules(draw):
+    """Delays (quantised so distinct floats never collide spuriously)."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    delays = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    use_sleep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return [
+        (d / 8.0, s) for d, s in zip(delays, use_sleep)
+    ]
+
+
+@given(timeout_schedules())
+@settings(max_examples=150, deadline=None)
+def test_event_order_is_time_then_sequence(schedule):
+    """Fire order sorts by (time, priority, sequence) — never by identity.
+
+    Processes are created in schedule order, so equal-time events must
+    resolve in creation order regardless of whether each waiter used a
+    plain timeout or a pooled sleep.
+    """
+    env = Environment()
+    log = []
+
+    def waiter(idx, delay, use_sleep):
+        yield (env.sleep(delay) if use_sleep else env.timeout(delay))
+        log.append((env.now, idx))
+
+    for idx, (delay, use_sleep) in enumerate(schedule):
+        env.process(waiter(idx, delay, use_sleep))
+    env.run()
+
+    assert len(log) == len(schedule)
+    # equal times resolve in creation (= scheduling) order
+    assert log == sorted(log, key=lambda pair: (pair[0], pair[1]))
+    # and each waiter fired at exactly its requested delay
+    for fired_at, idx in log:
+        assert fired_at == schedule[idx][0]
+
+
+@given(timeout_schedules())
+@settings(max_examples=100, deadline=None)
+def test_sleep_matches_timeout_schedule_exactly(schedule):
+    """A run on pooled sleeps reproduces a plain-timeout run event-for-event."""
+
+    def run(force_timeout):
+        env = Environment()
+        log = []
+
+        def waiter(idx, delay, use_sleep):
+            if force_timeout or not use_sleep:
+                yield env.timeout(delay)
+            else:
+                yield env.sleep(delay)
+            log.append((env.now, idx))
+
+        for idx, (delay, use_sleep) in enumerate(schedule):
+            env.process(waiter(idx, delay, use_sleep))
+        env.run()
+        return log, env.now
+
+    assert run(force_timeout=True) == run(force_timeout=False)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),  # victim delay (eighths)
+            st.integers(min_value=0, max_value=40),  # interrupt time (eighths)
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_interleaved_interrupts_keep_total_order(pairs):
+    """Interrupted sleepers and surviving sleepers fire in global order."""
+    env = Environment()
+    log = []
+
+    def victim(idx, delay):
+        try:
+            yield env.sleep(delay)
+            log.append(("slept", idx, env.now))
+        except Interrupt:
+            log.append(("interrupted", idx, env.now))
+
+    def interrupter(proc, at):
+        yield env.timeout(at)
+        if proc.is_alive:
+            proc.interrupt("cut")
+
+    for idx, (delay_q, at_q) in enumerate(pairs):
+        proc = env.process(victim(idx, delay_q / 8.0))
+        env.process(interrupter(proc, at_q / 8.0))
+    env.run()
+
+    assert len(log) == len(pairs)
+    times = [entry[2] for entry in log]
+    assert times == sorted(times)
+    for kind, idx, at in log:
+        delay, cut = pairs[idx][0] / 8.0, pairs[idx][1] / 8.0
+        if kind == "slept":
+            assert at == delay and not cut < delay
+        else:
+            assert at == cut and cut < delay
+
+
+def test_sleep_pool_recycles_objects():
+    """Processed sleeps return to the pool and are handed out again."""
+    env = Environment()
+    seen = []
+
+    def sleeper():
+        for _ in range(5):
+            ev = env.sleep(1.0)
+            seen.append(id(ev))
+            yield ev
+
+    env.process(sleeper())
+    env.run()
+    assert len(seen) == 5
+    # the next sleep is allocated inside the resume callback, *before*
+    # the fired one returns to the pool — so a serial sleeper alternates
+    # between two recycled objects rather than allocating five
+    assert len(set(seen)) == 2
+
+
+def test_sleep_rejects_negative_delay():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.sleep(-1.0)
+    # ... also once the pool is warm (the reset path validates too)
+    def sleeper():
+        yield env.sleep(0.0)
+
+    env.process(sleeper())
+    env.run()
+    assert env._sleep_pool
+    with pytest.raises(ValueError):
+        env.sleep(-1.0)

@@ -1,0 +1,1 @@
+"""Golden-trace fixtures pinning the optimized engine to the seed engine."""

@@ -1,0 +1,34 @@
+"""Regenerate the golden-trace fixtures.
+
+Run from the repository root **on a known-good engine** (normally the
+commit *before* an optimisation lands)::
+
+    PYTHONPATH=src python -m tests.goldens.generate
+
+Writes ``tests/goldens/goldens.json``.  The replay test
+(``tests/core/test_golden_trace.py``) then pins every later engine to
+these recorded values bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.goldens.cases import all_cells, case_id, run_case
+
+GOLDEN_PATH = Path(__file__).with_name("goldens.json")
+
+
+def main() -> None:
+    records = {}
+    for strategy, op, case in all_cells():
+        key = case_id(strategy, op, case)
+        records[key] = run_case(strategy, op, case)
+        print(f"recorded {key}")
+    GOLDEN_PATH.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(records)} cases)")
+
+
+if __name__ == "__main__":
+    main()

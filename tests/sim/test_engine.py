@@ -326,3 +326,96 @@ def test_determinism_same_program_same_trace():
         return trace
 
     assert build_and_run() == build_and_run()
+
+
+# ---------------------------------------------------------------------------
+# pooled-sleep waiter fast path
+# ---------------------------------------------------------------------------
+def test_interrupt_during_pooled_sleep():
+    """Interrupting a sleeper detaches the waiter; the sleep fires inert."""
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.sleep(100)
+            log.append("slept")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+        # the process must remain fully usable after the interrupt
+        yield env.sleep(1)
+        log.append(("resumed", env.now))
+
+    def interrupter(env, victim):
+        yield env.timeout(2)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    # the detached 100s sleep fired at t=100 without resuming anyone
+    assert env.now == 100
+    assert log == [("interrupted", 2, "wake up"), ("resumed", 3)]
+
+
+def test_non_event_yield_after_sleep_is_error():
+    """The sleep-resume fast path still rejects non-event yields."""
+    env = Environment()
+
+    def bad(env):
+        yield env.sleep(1)
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_exception_after_sleep_propagates_to_joiner():
+    env = Environment()
+
+    def crasher(env):
+        yield env.sleep(1)
+        raise RuntimeError("boom")
+
+    def joiner(env, p):
+        try:
+            yield p
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(crasher(env))
+    j = env.process(joiner(env, p))
+    env.run()
+    assert j.value == "boom"
+
+
+def test_exception_after_sleep_without_joiner_crashes_run():
+    env = Environment()
+
+    def crasher(env):
+        yield env.sleep(1)
+        raise RuntimeError("boom")
+
+    env.process(crasher(env))
+    with pytest.raises(SimulationError, match="crashed"):
+        env.run()
+
+
+def test_sleep_then_join_finished_process():
+    """A processed event yielded right after a sleep resumes immediately."""
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+        return "done"
+
+    def waiter(env, p):
+        yield env.sleep(5)  # p finishes (and is processed) meanwhile
+        got = yield p
+        return (env.now, got)
+
+    p = env.process(quick(env))
+    w = env.process(waiter(env, p))
+    env.run()
+    assert w.value == (5.0, "done")
