@@ -1,0 +1,197 @@
+"""Compact benchmark records + warn-only regression comparison.
+
+pytest-benchmark's ``--benchmark-json`` output runs to ~1 MB per
+trajectory point (machine info, every raw timing sample).  Committing
+that per PR bloats the repo for four numbers per benchmark, so the CI
+pipeline keeps the full file as a build artifact only and commits a
+compact form::
+
+    python benchmarks/compact_bench.py compact BENCH_FULL.json -o BENCH_3.json
+
+which keeps just ``{name, median, stddev, rounds}`` per benchmark, plus
+the source's datetime for provenance.  The companion subcommand::
+
+    python benchmarks/compact_bench.py compare BENCH_2.json BENCH_3.json --markdown
+
+prints a median-vs-median table (optionally GitHub-flavoured markdown
+for ``$GITHUB_STEP_SUMMARY``) and flags regressions beyond a threshold.
+Both subcommands accept either the full pytest-benchmark format or the
+compact one, so older full-format trajectory files keep comparing.
+The compare step is *warn-only* by design — timing on shared CI runners
+is noisy — so its exit status is 0 unless inputs are malformed; CI
+surfaces regressions in the job summary instead of failing the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Median slowdowns beyond this ratio are annotated as regressions.
+DEFAULT_THRESHOLD = 1.25
+
+
+def load_records(path: Path) -> dict:
+    """Read `path` (full pytest-benchmark or compact form) → compact dict.
+
+    Returns ``{"datetime": ..., "benchmarks": [{name, median, stddev,
+    rounds}, ...]}`` with benchmarks sorted by name.
+    """
+    with path.open() as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise ValueError(f"{path}: not a benchmark file (no 'benchmarks' key)")
+    records = []
+    for bench in data["benchmarks"]:
+        stats = bench.get("stats", bench)  # full form nests, compact doesn't
+        try:
+            records.append(
+                {
+                    "name": bench["name"],
+                    "median": float(stats["median"]),
+                    "stddev": float(stats["stddev"]),
+                    "rounds": int(stats["rounds"]),
+                }
+            )
+        except KeyError as exc:
+            raise ValueError(f"{path}: benchmark entry missing {exc}") from exc
+    records.sort(key=lambda r: r["name"])
+    return {"datetime": data.get("datetime"), "benchmarks": records}
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    compact = load_records(args.input)
+    text = json.dumps(compact, indent=2, sort_keys=True) + "\n"
+    if args.output is None:
+        sys.stdout.write(text)
+    else:
+        args.output.write_text(text)
+        full_kb = args.input.stat().st_size // 1024
+        print(
+            f"wrote {args.output} ({len(compact['benchmarks'])} benchmarks, "
+            f"{len(text) // 1024} KiB, from {full_kb} KiB full output)"
+        )
+    return 0
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+def compare_records(old: dict, new: dict, threshold: float) -> list[dict]:
+    """Median-vs-median comparison rows, one per benchmark name."""
+    old_by_name = {r["name"]: r for r in old["benchmarks"]}
+    new_by_name = {r["name"]: r for r in new["benchmarks"]}
+    rows = []
+    for name in sorted(old_by_name.keys() | new_by_name.keys()):
+        o, n = old_by_name.get(name), new_by_name.get(name)
+        if o is None or n is None:
+            rows.append(
+                {"name": name, "old": o, "new": n, "ratio": None,
+                 "status": "added" if o is None else "removed"}
+            )
+            continue
+        ratio = n["median"] / o["median"] if o["median"] > 0 else float("inf")
+        if ratio > threshold:
+            status = "regressed"
+        elif ratio < 1.0 / threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(
+            {"name": name, "old": o, "new": n, "ratio": ratio, "status": status}
+        )
+    return rows
+
+
+_STATUS_MARK = {
+    "ok": "·", "improved": "✓", "regressed": "⚠", "added": "+", "removed": "−",
+}
+
+
+def render_table(rows: list[dict], markdown: bool) -> str:
+    lines = []
+    if markdown:
+        lines.append("| benchmark | old median | new median | ratio | status |")
+        lines.append("|---|---|---|---|---|")
+    for row in rows:
+        old = _fmt_seconds(row["old"]["median"]) if row["old"] else "—"
+        new = _fmt_seconds(row["new"]["median"]) if row["new"] else "—"
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "—"
+        mark = _STATUS_MARK[row["status"]]
+        if markdown:
+            lines.append(
+                f"| `{row['name']}` | {old} | {new} | {ratio} "
+                f"| {mark} {row['status']} |"
+            )
+        else:
+            lines.append(
+                f"{mark} {row['name']:<40} {old:>10} -> {new:>10} "
+                f"{ratio:>8}  {row['status']}"
+            )
+    return "\n".join(lines)
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    old = load_records(args.old)
+    new = load_records(args.new)
+    rows = compare_records(old, new, args.threshold)
+    regressed = [r for r in rows if r["status"] == "regressed"]
+    if args.markdown:
+        print("### Benchmark medians vs previous trajectory point\n")
+    print(render_table(rows, markdown=args.markdown))
+    print()
+    if regressed:
+        names = ", ".join(f"`{r['name']}`" for r in regressed)
+        print(
+            f"{'⚠ ' if args.markdown else ''}"
+            f"{len(regressed)} benchmark(s) slower than {args.threshold:.2f}x "
+            f"the previous median: {names} (warn-only; timing noise on "
+            "shared runners is expected)"
+        )
+    else:
+        print(f"no median regressions beyond {args.threshold:.2f}x")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compact = sub.add_parser(
+        "compact", help="strip a pytest-benchmark JSON to its medians"
+    )
+    p_compact.add_argument("input", type=Path)
+    p_compact.add_argument(
+        "-o", "--output", type=Path, default=None,
+        help="compact JSON destination (default: stdout)",
+    )
+    p_compact.set_defaults(func=cmd_compact)
+
+    p_compare = sub.add_parser(
+        "compare", help="warn-only median comparison of two trajectory points"
+    )
+    p_compare.add_argument("old", type=Path)
+    p_compare.add_argument("new", type=Path)
+    p_compare.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"regression ratio to annotate (default {DEFAULT_THRESHOLD})",
+    )
+    p_compare.add_argument(
+        "--markdown", action="store_true",
+        help="emit a GitHub-flavoured table for the job summary",
+    )
+    p_compare.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

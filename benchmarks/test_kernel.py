@@ -100,7 +100,7 @@ class _ShuffleRoundBench:
     """
 
     def __init__(self, mode):
-        assert mode in ("per-message", "batched")
+        assert mode in ("per-message", "batched", "intra-node")
         self.mode = mode
         self.env, self.comm, _ = _shuffle_stack()
         #: One aggregator per node: its first rank.
@@ -116,6 +116,9 @@ class _ShuffleRoundBench:
         tag = ("sh", t)
         n_senders = comm.size - len(aggs)
         received = [0]
+
+        if self.mode == "intra-node":
+            return self._run_intra_node_round(t)
 
         def main(ctx):
             rank = ctx.rank
@@ -155,6 +158,57 @@ class _ShuffleRoundBench:
         comm.run_spmd(main)
         return received[0]
 
+    def _run_intra_node_round(self, t):
+        """Leader-coalesced variant: one wire message per sender *node*.
+
+        Each node's lowest-ranked sender collects its peers' slices over
+        the local fabric and ships a single bundle to every remote
+        aggregator; same-node slices still take the shared-memory path.
+        The returned count is the number of *represented* per-rank
+        messages, so all three modes assert the same logical total.
+        """
+        comm, aggs = self.comm, self.aggs
+        agg_set = frozenset(aggs)
+        tag = ("sh", t)
+        received = [0]
+
+        def main(ctx):
+            rank = ctx.rank
+            my_node = comm.node_id_of_rank(rank)
+            local = [r for r in comm.ranks_on_node(my_node) if r not in agg_set]
+            if rank in agg_set:
+                # local slices arrive individually, remote ones as one
+                # bundle per sender node
+                msgs = yield from comm.recv_many(
+                    ctx, len(local) + N_NODES - 1, tag=tag
+                )
+                received[0] += sum(m.payload or 1 for m in msgs)
+                yield from comm.barrier(ctx)
+                return
+            leader = local[0]
+            same_agg = next(
+                a for a in aggs if comm.node_id_of_rank(a) == my_node
+            )
+            yield from comm.send(ctx, same_agg, MSG_BYTES, tag=tag)
+            if rank != leader:
+                # hand the whole remote fan-out to this node's leader
+                yield from comm.send(
+                    ctx, leader, MSG_BYTES * (N_NODES - 1), tag=("lead", t)
+                )
+            else:
+                for _ in range(len(local) - 1):
+                    yield from comm.recv(ctx, tag=("lead", t))
+                for agg in aggs:
+                    if comm.node_id_of_rank(agg) != my_node:
+                        yield from comm.send(
+                            ctx, agg, MSG_BYTES * len(local), tag=tag,
+                            payload=len(local),
+                        )
+            yield from comm.barrier(ctx)
+
+        comm.run_spmd(main)
+        return received[0]
+
 
 def test_shuffle_round_per_message(benchmark):
     """Reference path: one simulated message per (member, aggregator) pair."""
@@ -166,6 +220,17 @@ def test_shuffle_round_batched(benchmark):
     """Fast path: pooled wire transfers + counting receives."""
     bench = _ShuffleRoundBench("batched")
     assert benchmark(bench.run_round) == (N_RANKS - N_NODES) * N_NODES
+
+
+def test_shuffle_round_intra_node(benchmark):
+    """Leader-coalesced round: O(nodes) wire messages instead of O(ranks)."""
+    bench = _ShuffleRoundBench("intra-node")
+    before = bench.comm.cluster.network.inter_node_messages
+    assert benchmark(bench.run_round) == (N_RANKS - N_NODES) * N_NODES
+    # per round: each node's leader ships one bundle per remote aggregator
+    per_round = N_NODES * (N_NODES - 1)
+    total = bench.comm.cluster.network.inter_node_messages - before
+    assert total % per_round == 0
 
 
 # ---------------------------------------------------------------------------
@@ -201,5 +266,67 @@ def test_remerge_heavy_planning(benchmark):
 
     def run():
         return len(engine.plan(patterns, dict(avail)).domains)
+
+    assert benchmark(run) > 0
+
+
+# ---------------------------------------------------------------------------
+# plan cache: cold planning vs signature-keyed reuse
+# ---------------------------------------------------------------------------
+def _planning_workload(plan_cache):
+    """The remerge-heavy setup above, routed through the plan cache."""
+    n_ranks, n_nodes, cores = 64, 8, 8
+    env = Environment()
+    spec = ClusterSpec(nodes=n_nodes, node=NodeSpec(cores=cores))
+    cluster = Cluster(env, spec, RngFactory(0))
+    comm = SimComm(env, cluster, block_placement(n_ranks, n_nodes, cores))
+    pfs = ParallelFileSystem(env, spec.storage)
+    engine = MemoryConsciousCollectiveIO(
+        comm,
+        pfs,
+        MCIOConfig(
+            msg_group=1 << 22,
+            msg_ind=1 << 14,
+            mem_min=0,
+            nah=2,
+            min_buffer=1,
+            plan_cache=plan_cache,
+        ),
+    )
+    block = 1 << 13
+    stride = block * n_ranks
+    patterns = [
+        AccessPattern((StridedSegment(r * block, block, stride, 16),))
+        for r in range(n_ranks)
+    ]
+    avail = {i: (1 << 16) if i % 2 else (1 << 24) for i in range(n_nodes)}
+    return engine, patterns, avail
+
+
+def test_plan_cold(benchmark):
+    """Every collective re-runs the full four-component pipeline."""
+    engine, patterns, avail = _planning_workload(plan_cache=False)
+
+    def run():
+        (plan, _, _), cached = engine._plan_or_reuse(
+            patterns, dict(avail), frozenset()
+        )
+        assert not cached
+        return len(plan.domains)
+
+    assert benchmark(run) > 0
+
+
+def test_plan_cached(benchmark):
+    """Signature hit: the pipeline is skipped, memoised plan reused."""
+    engine, patterns, avail = _planning_workload(plan_cache=True)
+    engine._plan_or_reuse(patterns, dict(avail), frozenset())  # warm
+
+    def run():
+        (plan, _, _), cached = engine._plan_or_reuse(
+            patterns, dict(avail), frozenset()
+        )
+        assert cached
+        return len(plan.domains)
 
     assert benchmark(run) > 0

@@ -7,7 +7,7 @@ node-level memory/bandwidth models, and the interconnect.
 
 from .background import BackgroundLoad
 from .cluster import Cluster
-from .memory import Allocation, MemoryModel
+from .memory import Allocation, MemoryModel, availability_bucket
 from .network import Network
 from .node import Node
 from .placement import (
@@ -33,6 +33,7 @@ from .spec import (
 
 __all__ = [
     "Allocation",
+    "availability_bucket",
     "BackgroundLoad",
     "Cluster",
     "ClusterSpec",

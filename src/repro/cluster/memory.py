@@ -21,7 +21,27 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Allocation", "MemoryModel"]
+__all__ = ["Allocation", "MemoryModel", "availability_bucket"]
+
+
+def availability_bucket(
+    avail_bytes: int, thresholds: tuple[int, ...], quantum: int
+) -> tuple[int, int]:
+    """Quantize an available-memory reading into planning-relevant buckets.
+
+    Returns ``(rank, quanta)`` where `rank` counts how many of the given
+    `thresholds` the reading meets and `quanta` is the reading divided by
+    `quantum` (e.g. ``Msg_ind``: roughly how many aggregation domains the
+    host could absorb).  Two readings with equal buckets are
+    indistinguishable to the remerge / placement thresholds derived from
+    those values, which is what lets the plan cache reuse a plan across
+    small memory wiggle while a genuine threshold crossing — a memory
+    shock, a big background-load step — forces a replan.
+    """
+    if avail_bytes < 0:
+        raise ValueError("avail_bytes must be >= 0")
+    rank = sum(1 for t in thresholds if avail_bytes >= t)
+    return rank, avail_bytes // max(1, quantum)
 
 
 @dataclass

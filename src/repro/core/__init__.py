@@ -24,6 +24,7 @@ from .independent import DataSievingIO, IndependentIO
 from .mcio import MemoryConsciousCollectiveIO
 from .metrics import CollectiveStats, StatsCollector
 from .partition_tree import PartitionNode, PartitionTree
+from .plan_cache import PlanCache, PlanCacheStats
 from .request import AccessPattern, Extent, StridedSegment, coalesce_extents
 from .two_phase import TwoPhaseCollectiveIO, default_aggregators
 
@@ -42,6 +43,8 @@ __all__ = [
     "PartitionNode",
     "PartitionTree",
     "PlacementError",
+    "PlanCache",
+    "PlanCacheStats",
     "StatsCollector",
     "StridedSegment",
     "TwoPhaseCollectiveIO",

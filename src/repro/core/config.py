@@ -63,12 +63,22 @@ class TwoPhaseConfig:
         two aggregators splitting one stripe (lock contention in Lustre).
     shuffle_granularity:
         See module docstring.
+    intra_node_aggregation:
+        Opt-in leader-coalesced shuffle: one leader rank per (node, file
+        domain, window) collects its co-located ranks' window slices
+        over the memory bus and ships them to the aggregator as a single
+        wire message, cutting per-round inter-node messages from
+        O(ranks touching the window) to O(nodes touching the window).
+        Ignored at ``"domain"`` granularity, and execution falls back to
+        the exact per-message path whenever fault machinery is engaged
+        (same rule as ``"batched"``).
     """
 
     cb_buffer_size: int = 16 * MIB
     cb_nodes: Optional[int] = None
     stripe_align: bool = True
     shuffle_granularity: ShuffleGranularity = "round"
+    intra_node_aggregation: bool = False
 
     def __post_init__(self) -> None:
         _check_common(self.cb_buffer_size, self.shuffle_granularity)
@@ -131,6 +141,30 @@ class MCIOConfig:
         independent I/O if no live aggregator host exists, instead of
         crashing the collective.  The tier actually used is recorded in
         :attr:`~repro.core.metrics.CollectiveStats.degraded_tier`.
+    plan_cache:
+        Opt-in reusable collective plans: key each finished plan by a
+        deterministic signature of (access patterns, config, live-node
+        set, memory-state bucket digest) and reuse it — partition
+        trees, placement, and per-window sender memos included — when a
+        later collective presents the same signature.  Invalidated when
+        a node's available memory crosses a remerge-relevant bucket, on
+        any fault-injector event (wire with
+        :meth:`~repro.core.mcio.MemoryConsciousCollectiveIO.watch_faults`),
+        and after any mid-run aggregator failover.  Hit/miss/invalidation
+        counters surface in :class:`~repro.core.metrics.CollectiveStats`.
+        Reuse never changes simulated time — planning costs host CPU
+        only — so fault-free traces stay bit-identical.
+    intra_node_aggregation:
+        Opt-in leader-coalesced shuffle: one leader rank per (node, file
+        domain, window) collects its co-located ranks' window slices
+        over the memory bus (leader staging memory is charged against
+        the node's available memory) and ships them to the aggregator
+        as a single wire message per (node, domain, window) — per-round
+        inter-node messages drop from O(ranks touching the window) to
+        O(nodes touching the window).  Ignored at ``"domain"``
+        granularity; falls back to the exact per-message path whenever
+        fault machinery is engaged (same rule as ``"batched"``), which
+        includes ``failover=True``.
     """
 
     msg_group: int = 256 * MIB
@@ -146,6 +180,8 @@ class MCIOConfig:
     shuffle_granularity: ShuffleGranularity = "round"
     failover: bool = True
     fallback_chain: bool = True
+    plan_cache: bool = False
+    intra_node_aggregation: bool = False
 
     def __post_init__(self) -> None:
         _check_common(self.cb_buffer_size, self.shuffle_granularity)

@@ -68,6 +68,7 @@ class ExecutionPlan:
         # per-(domain, window) sender memo, shared by every rank running
         # this plan (the instance is shared across the whole collective)
         object.__setattr__(self, "_window_senders", {})
+        object.__setattr__(self, "_window_node_groups", {})
 
     def window_senders(
         self, did: int, lo: int, hi: int, patterns: Sequence[AccessPattern]
@@ -107,6 +108,30 @@ class ExecutionPlan:
             cached = self._window_senders[key]
         return rank in cached[1]
 
+    def window_node_groups(
+        self,
+        did: int,
+        lo: int,
+        hi: int,
+        patterns: Sequence[AccessPattern],
+        placement: Sequence[int],
+    ) -> dict[int, list[int]]:
+        """Window senders grouped by hosting node, memoized.
+
+        ``{node_id: [ranks]}`` with ranks ascending inside each node —
+        the first rank of a group is that node's shuffle leader under
+        intra-node aggregation.  Shared across ranks; treat as
+        immutable.
+        """
+        key = (did, lo, hi)
+        cached = self._window_node_groups.get(key)
+        if cached is None:
+            groups: dict[int, list[int]] = {}
+            for r in self.window_senders(did, lo, hi, patterns):
+                groups.setdefault(placement[r], []).append(r)
+            self._window_node_groups[key] = cached = groups
+        return cached
+
     @classmethod
     def build(
         cls,
@@ -138,6 +163,18 @@ class ExecutionPlan:
         return max(
             rounds_for(d.extent.length, d.buffer_bytes) for d in self.domains
         )
+
+
+@dataclass(frozen=True)
+class _IntraNodeBundle:
+    """Leader-coalesced shuffle payload: one wire message, many slices.
+
+    ``parts`` is a rank-ascending tuple of ``(rank, nbytes, data)`` — the
+    per-rank window slices a node leader pooled (write: toward an
+    aggregator; read: from an aggregator toward a node's members).
+    """
+
+    parts: tuple
 
 
 def _round_extent(domain: FileDomain, t: int) -> Optional[Extent]:
@@ -238,6 +275,7 @@ def execute_collective(
     payload: Optional[np.ndarray] = None,
     granularity: str = "round",
     failover_config=None,
+    intra_node_aggregation: bool = False,
 ):
     """Process generator: one rank's role in a planned collective op.
 
@@ -272,6 +310,14 @@ def execute_collective(
         granularity only), or None for fault-oblivious execution.  With
         no failed hosts the check adds no simulation events, so
         fault-free timing is unchanged.
+    intra_node_aggregation:
+        Leader-coalesced shuffle: one rank per (node, domain, window)
+        pools its co-located ranks' slices and exchanges a single wire
+        message per aggregator node, cutting per-round inter-node
+        messages from O(ranks touching the window) to O(nodes touching
+        the window).  Ignored at ``"domain"`` granularity and whenever
+        fault machinery is engaged (same fallback rule as
+        ``"batched"``).
 
     Returns
     -------
@@ -281,17 +327,20 @@ def execute_collective(
         raise ValueError(f"op must be 'write' or 'read', got {op!r}")
     if granularity not in ("round", "batched", "domain"):
         raise ValueError(f"bad granularity {granularity!r}")
-    if granularity == "batched" and (
-        failover_config is not None
-        or any(node.failed for node in comm.cluster.nodes)
-    ):
+    faulty = failover_config is not None or any(
+        node.failed for node in comm.cluster.nodes
+    )
+    if granularity == "batched" and faulty:
         # the aggregated fast path has no per-message hooks for mid-run
         # failover or degraded hosts; keep fault runs on the exact path
         granularity = "round"
+    intra_node = (
+        intra_node_aggregation and granularity != "domain" and not faulty
+    )
     env = ctx.env
     stats.mark_start(env.now)
     run = _RunContext(ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload)
-    if granularity == "round":
+    if granularity == "round" and not intra_node:
         run.failover_config = failover_config
 
     # allocate this rank's aggregation buffers for the whole operation
@@ -302,7 +351,9 @@ def execute_collective(
         stats.record_rounds(rounds_for(domain.extent.length, domain.buffer_bytes))
 
     try:
-        if granularity == "round":
+        if intra_node:
+            yield from _run_intra_node(run)
+        elif granularity == "round":
             yield from _run_lockstep(run)
         elif granularity == "batched":
             yield from _run_batched(run)
@@ -537,6 +588,279 @@ def _member_window_batched(run: _RunContext, did: int, window: Extent, t: int):
 
 
 # ---------------------------------------------------------------------------
+# intra-node aggregation (lockstep rounds, leader-coalesced shuffle)
+# ---------------------------------------------------------------------------
+def _run_intra_node(run: _RunContext):
+    """Lockstep rounds with per-node leader-coalesced shuffle.
+
+    Same round structure, barrier discipline, and bytes delivered as
+    :func:`_run_lockstep`, but for every (node, domain, window) with the
+    aggregator on a *different* node, the node's lowest-ranked window
+    sender acts as leader: on writes the co-located senders hand their
+    slices to the leader over the shared-memory path and the leader
+    ships one :class:`_IntraNodeBundle` per aggregator; on reads the
+    aggregator sends the leader one bundle and the leader fans the
+    slices out locally.  Co-located members keep the per-rank path.
+    Leader staging memory is committed against the node's available
+    memory for the life of the pooled transfer, so the memory-conscious
+    accounting still sees the coalesced buffers.
+    """
+    ctx, comm = run.ctx, run.comm
+    plan, patterns = run.plan, run.patterns
+    ntimes = plan.ntimes
+    for t in range(ntimes):
+        procs = []
+        member = False
+        for did, domain in enumerate(run.domains):
+            window = _round_extent(domain, t)
+            if window is None:
+                continue
+            if domain.aggregator_rank == ctx.rank:
+                procs.append(
+                    ctx.spawn(
+                        _aggregator_window_ina(
+                            run, did, window, t, run.paged_flags[did]
+                        ),
+                        name=f"rank{ctx.rank}.agg{did}.r{t}",
+                    )
+                )
+            if plan.is_window_sender(
+                ctx.rank, did, window.offset, window.end, patterns
+            ):
+                member = True
+        if member:
+            procs.append(
+                ctx.spawn(
+                    _member_round_ina(run, t),
+                    name=f"rank{ctx.rank}.ina.r{t}",
+                )
+            )
+        if procs:
+            yield ctx.env.all_of(procs)
+        yield from comm.barrier(ctx)
+
+
+def _ina_groups(run: _RunContext, did: int, window: Extent) -> dict[int, list[int]]:
+    return run.plan.window_node_groups(
+        did, window.offset, window.end, run.patterns, run.comm.placement
+    )
+
+
+def _ina_message_count(run: _RunContext, did: int, window: Extent) -> int:
+    """Messages the aggregator drains for `window`: locals + one per node."""
+    agg_node = run.comm.node_id_of_rank(run.domains[did].aggregator_rank)
+    n = 0
+    for nid, ranks in _ina_groups(run, did, window).items():
+        n += len(ranks) if nid == agg_node else 1
+    return n
+
+
+def _ina_leader_count(run: _RunContext, t: int, node_id: int) -> int:
+    """Distinct leader ranks `node_id` fields in round `t` (write side)."""
+    comm = run.comm
+    leaders = set()
+    for did, domain in enumerate(run.domains):
+        window = _round_extent(domain, t)
+        if window is None:
+            continue
+        if comm.node_id_of_rank(domain.aggregator_rank) == node_id:
+            continue
+        local = _ina_groups(run, did, window).get(node_id)
+        if local:
+            leaders.add(local[0])
+    return len(leaders)
+
+
+def _aggregator_window_ina(
+    run: _RunContext, did: int, window: Extent, t: int, paged: bool
+):
+    if run.op == "write":
+        yield from _collect_and_write(
+            run, did, window, t, paged, io_rounds=None, batched=True,
+            n_msgs=_ina_message_count(run, did, window),
+        )
+    else:
+        yield from _read_and_scatter(
+            run, did, window, t, paged, io_rounds=None, intra_node=True
+        )
+
+
+def _member_round_ina(run: _RunContext, t: int):
+    if run.op == "write":
+        yield from _member_round_ina_write(run, t)
+    else:
+        yield from _member_round_ina_read(run, t)
+
+
+def _member_round_ina_write(run: _RunContext, t: int):
+    """One rank's whole write-shuffle round under intra-node aggregation.
+
+    Slices bound for a co-located aggregator go straight to it; slices
+    bound for remote aggregators go to this node's per-domain leader
+    (lowest sender rank) over the shared-memory path, and each leader
+    deposits its pooled bundles into one node-wide
+    :meth:`~repro.mpi.comm.SimComm.staged_batched_send` rendezvous, so
+    the node's entire round leaves the NIC as one shipment with one
+    wire message per (domain, window).
+    """
+    ctx, comm = run.ctx, run.comm
+    plan, patterns = run.plan, run.patterns
+    my_pattern = patterns[ctx.rank]
+    my_node = comm.node_id_of_rank(ctx.rank)
+    env = ctx.env
+    sends = []
+    duties = []  # (did, local senders, my slice, packed data, wire paged flag)
+    for did, domain in enumerate(run.domains):
+        window = _round_extent(domain, t)
+        if window is None:
+            continue
+        if not plan.is_window_sender(
+            ctx.rank, did, window.offset, window.end, patterns
+        ):
+            continue
+        q = my_pattern.clip(window.offset, window.end)
+        agg = domain.aggregator_rank
+        same_node = comm.node_id_of_rank(agg) == my_node
+        data = (
+            _pack_payload(my_pattern, run.payload, q)
+            if run.payload is not None
+            else None
+        )
+        run.stats.record_shuffle(q.nbytes, same_node=same_node)
+        paged_wire = domain.paged or comm.node_of_rank(agg).memory.overcommitted
+        if same_node:
+            sends.append(
+                comm.isend(
+                    ctx, agg, q.nbytes, tag=(run.op_seq, did, t),
+                    payload=data, paged_dst=paged_wire,
+                )
+            )
+            continue
+        local = _ina_groups(run, did, window)[my_node]
+        if ctx.rank != local[0]:
+            # hand the slice to this node's leader (shared-memory hop)
+            sends.append(
+                comm.isend(
+                    ctx, local[0], q.nbytes,
+                    tag=("ina", run.op_seq, did, t), payload=data,
+                )
+            )
+        else:
+            duties.append((did, local, q, data, paged_wire))
+    if duties:
+        n_leaders = _ina_leader_count(run, t, my_node)
+        items = []
+        staging = []
+        paged_map: dict[int, bool] = {}
+        for did, local, q, data, paged_wire in duties:
+            agg = run.domains[did].aggregator_rank
+            parts = [(ctx.rank, q.nbytes, data)]
+            if len(local) > 1:
+                msgs = yield from comm.recv_many(
+                    ctx, len(local) - 1, tag=("ina", run.op_seq, did, t)
+                )
+                parts.extend((m.source, m.nbytes, m.payload) for m in msgs)
+            parts.sort(key=lambda p: p[0])
+            total = sum(p[1] for p in parts)
+            # the pooled slices occupy leader memory until shipped —
+            # charged against the node's available memory
+            staging.append(
+                ctx.node.memory.alloc(
+                    total, label=f"ina.{run.op_seq}.{did}.{t}"
+                )
+            )
+            agg_node = comm.node_id_of_rank(agg)
+            paged_map[agg_node] = paged_map.get(agg_node, False) or paged_wire
+            items.append(
+                (ctx.rank, agg, total, (run.op_seq, did, t),
+                 _IntraNodeBundle(tuple(parts)))
+            )
+        yield from comm.staged_batched_send(
+            ctx, ("ina", run.op_seq, t, my_node), n_leaders, items,
+            paged_dst=paged_map,
+        )
+        for alloc in staging:
+            ctx.node.memory.free(alloc)
+    if sends:
+        yield env.all_of(sends)
+
+
+def _member_round_ina_read(run: _RunContext, t: int):
+    """One rank's whole read-shuffle round under intra-node aggregation.
+
+    Slices from a co-located aggregator arrive per-rank as usual; each
+    remote aggregator sends this node's leader one bundle, which the
+    leader unpacks (its own slice) and fans out to the co-located
+    members over the shared-memory path.  Blocking waits only ever
+    chain toward lower-ranked leaders on the same node, so the
+    per-domain recv order cannot deadlock.
+    """
+    ctx, comm = run.ctx, run.comm
+    plan, patterns = run.plan, run.patterns
+    my_pattern = patterns[ctx.rank]
+    my_node = comm.node_id_of_rank(ctx.rank)
+    env = ctx.env
+    forwards = []
+    staging = []
+    for did, domain in enumerate(run.domains):
+        window = _round_extent(domain, t)
+        if window is None:
+            continue
+        if not plan.is_window_sender(
+            ctx.rank, did, window.offset, window.end, patterns
+        ):
+            continue
+        agg = domain.aggregator_rank
+        same_node = comm.node_id_of_rank(agg) == my_node
+        q = my_pattern.clip(window.offset, window.end)
+        tag = (run.op_seq, did, t)
+        if same_node:
+            msg = yield from comm.recv(ctx, source=agg, tag=tag)
+            run.stats.record_shuffle(msg.nbytes, same_node=True)
+            if run.payload is not None and msg.payload is not None:
+                _unpack_payload(my_pattern, run.payload, q, msg.payload)
+            continue
+        local = _ina_groups(run, did, window)[my_node]
+        if ctx.rank == local[0]:
+            msg = yield from comm.recv(ctx, source=agg, tag=tag)
+            parts = (
+                msg.payload.parts
+                if isinstance(msg.payload, _IntraNodeBundle)
+                else ((ctx.rank, msg.nbytes, msg.payload),)
+            )
+            remote_total = sum(nb for r, nb, _ in parts if r != ctx.rank)
+            if remote_total:
+                staging.append(
+                    ctx.node.memory.alloc(
+                        remote_total, label=f"ina.{run.op_seq}.{did}.{t}"
+                    )
+                )
+            for r, nb, data in parts:
+                if r == ctx.rank:
+                    run.stats.record_shuffle(nb, same_node=False)
+                    if run.payload is not None and data is not None:
+                        _unpack_payload(my_pattern, run.payload, q, data)
+                else:
+                    forwards.append(
+                        comm.isend(
+                            ctx, r, nb,
+                            tag=("inaf", run.op_seq, did, t), payload=data,
+                        )
+                    )
+        else:
+            msg = yield from comm.recv(
+                ctx, source=local[0], tag=("inaf", run.op_seq, did, t)
+            )
+            run.stats.record_shuffle(msg.nbytes, same_node=False)
+            if run.payload is not None and msg.payload is not None:
+                _unpack_payload(my_pattern, run.payload, q, msg.payload)
+    if forwards:
+        yield env.all_of(forwards)
+    for alloc in staging:
+        ctx.node.memory.free(alloc)
+
+
+# ---------------------------------------------------------------------------
 # streaming execution (one message per pair, aggregators free-run)
 # ---------------------------------------------------------------------------
 def _run_streaming(run: _RunContext):
@@ -642,36 +966,49 @@ def _aggregator_streaming(run: _RunContext, did: int, paged: bool):
         yield from _read_and_scatter(run, did, domain.extent, 0, paged, io_rounds)
 
 
-def _collect_and_write(run, did, window, t, paged, io_rounds, batched=False):
+def _collect_and_write(
+    run, did, window, t, paged, io_rounds, batched=False, n_msgs=None
+):
     """Receive all contributions for `window`, assemble, write to the PFS.
 
     With `batched`, the contributions are drained with one counting
     :meth:`~repro.mpi.comm.SimComm.recv_many` instead of one posted
     receive per message (same arrival order, same completion time —
     unpacking costs no simulated time — but one resume per round).
+    `n_msgs` overrides the expected message count when senders coalesce
+    (intra-node aggregation: one :class:`_IntraNodeBundle` per remote
+    node instead of one message per remote rank).
     """
     ctx, comm, pfs, env = run.ctx, run.comm, run.pfs, run.ctx.env
     expected = _expected_senders(run, did, window)
+    count = len(expected) if n_msgs is None else n_msgs
     if batched:
         msgs = yield from comm.recv_many(
-            ctx, len(expected), tag=(run.op_seq, did, t)
+            ctx, count, tag=(run.op_seq, did, t)
         )
     else:
         msgs = []
-        for _ in expected:
+        for _ in range(count):
             msg = yield from comm.recv(ctx, tag=(run.op_seq, did, t))
             msgs.append(msg)
     buffer: Optional[np.ndarray] = None
     received = 0
     for msg in msgs:
         received += msg.nbytes
-        if msg.payload is not None:
+        parts = (
+            msg.payload.parts
+            if isinstance(msg.payload, _IntraNodeBundle)
+            else ((msg.source, msg.nbytes, msg.payload),)
+        )
+        for src_rank, _nb, data in parts:
+            if data is None:
+                continue
             if buffer is None:
                 buffer = np.zeros(window.length, dtype=np.uint8)
-            q = run.patterns[msg.source].clip(window.offset, window.end)
+            q = run.patterns[src_rank].clip(window.offset, window.end)
             for off, ln, qbuf in q.iter_mapped_extents():
                 rel = off - window.offset
-                buffer[rel : rel + ln] = msg.payload[qbuf : qbuf + ln]
+                buffer[rel : rel + ln] = data[qbuf : qbuf + ln]
     if received == 0:
         return
     # assemble the collective buffer: off-chip memory traffic, throttled
@@ -693,12 +1030,17 @@ def _collect_and_write(run, did, window, t, paged, io_rounds, batched=False):
             run.stats.record_bytes(piece.length)
 
 
-def _read_and_scatter(run, did, window, t, paged, io_rounds, batched=False):
+def _read_and_scatter(
+    run, did, window, t, paged, io_rounds, batched=False, intra_node=False
+):
     """Read `window`'s requested extents, then send each rank its bytes.
 
     With `batched`, remote members' messages are grouped by destination
     node and leave the aggregator as one
-    :meth:`~repro.mpi.comm.SimComm.batched_send` per node.
+    :meth:`~repro.mpi.comm.SimComm.batched_send` per node.  With
+    `intra_node`, each remote node instead gets a single
+    :class:`_IntraNodeBundle` addressed to its leader (lowest member
+    rank), who fans the slices out locally — one wire message per node.
     """
     ctx, comm, pfs, env = run.ctx, run.comm, run.pfs, run.ctx.env
     expected = _expected_senders(run, did, window)
@@ -738,6 +1080,9 @@ def _read_and_scatter(run, did, window, t, paged, io_rounds, batched=False):
                 data[qbuf : qbuf + ln] = buffer[rel : rel + ln]
         tag = (run.op_seq, did, t)
         dest_node = comm.node_id_of_rank(r)
+        if intra_node and dest_node != my_node:
+            by_node.setdefault(dest_node, []).append((r, q.nbytes, data))
+            continue
         if batched and dest_node != my_node:
             by_node.setdefault(dest_node, []).append(
                 (ctx.rank, r, q.nbytes, tag, data)
@@ -749,6 +1094,18 @@ def _read_and_scatter(run, did, window, t, paged, io_rounds, batched=False):
             )
         )
     for dest_node in sorted(by_node):
+        if intra_node:
+            # one bundle to the node's leader; expected is rank-ordered,
+            # so parts[0] is the lowest member rank on that node
+            parts = by_node[dest_node]
+            sends.append(
+                comm.isend(
+                    ctx, parts[0][0], sum(p[1] for p in parts),
+                    tag=(run.op_seq, did, t),
+                    payload=_IntraNodeBundle(tuple(parts)), paged_dst=paged,
+                )
+            )
+            continue
         sends.append(
             ctx.spawn(
                 comm.batched_send(ctx, by_node[dest_node], paged_dst=paged),

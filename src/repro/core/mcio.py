@@ -35,6 +35,7 @@ from repro.core.filedomain import FileDomain, even_domains
 from repro.core.group_division import divide_groups
 from repro.core.metrics import CollectiveStats, StatsCollector
 from repro.core.partition_tree import PartitionTree
+from repro.core.plan_cache import PlanCache
 from repro.core.request import AccessPattern
 from repro.core.two_phase import default_aggregators
 from repro.mpi.comm import RankContext, SimComm
@@ -112,6 +113,24 @@ class MemoryConsciousCollectiveIO:
         self._stats: dict[int, StatsCollector] = {}
         #: Finalized stats of completed operations, in call order.
         self.history: list[CollectiveStats] = []
+        #: Signature-keyed reuse of finished plans (see
+        #: :mod:`repro.core.plan_cache`); disabled unless
+        #: ``config.plan_cache`` opts in.
+        self.plan_cache = PlanCache(enabled=self.config.plan_cache)
+        #: Partition-tree evaluations performed by the most recent
+        #: :meth:`plan` call (0 when the plan came from the cache).
+        self.last_plan_tree_queries = 0
+
+    # ------------------------------------------------------------------
+    def watch_faults(self, injector) -> None:
+        """Invalidate cached plans on every fault apply/revert.
+
+        Wire any :class:`~repro.faults.injector.FaultInjector` driving
+        this engine's cluster or file system: plans were built against a
+        platform state a fault just changed (memory shock, node failure,
+        server health), so reuse would be unsound.
+        """
+        injector.add_listener(self.plan_cache.on_fault_event)
 
     # ------------------------------------------------------------------
     def write(self, ctx: RankContext, pattern: AccessPattern,
@@ -156,6 +175,7 @@ class MemoryConsciousCollectiveIO:
                 ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
                 payload=payload, granularity=self.config.shuffle_granularity,
                 failover_config=self.config if self.config.failover else None,
+                intra_node_aggregation=self.config.intra_node_aggregation,
             )
         self._finish(seq, ctx)
         return result
@@ -168,7 +188,7 @@ class MemoryConsciousCollectiveIO:
                 memory_available.setdefault(node_id, avail)
                 if failed:
                     failed_nodes.add(node_id)
-            plan, tier, reason = self._plan_with_fallback(
+            (plan, tier, reason), cached = self._plan_or_reuse(
                 patterns, memory_available, frozenset(failed_nodes)
             )
             self._plans[seq] = plan
@@ -176,10 +196,44 @@ class MemoryConsciousCollectiveIO:
             collector.n_groups = plan.n_groups if plan is not None else 1
             collector.set_tier(tier)
             collector.attach_pfs(self.pfs)
+            collector.record_plan_cache(
+                cached,
+                cache_stats=self.plan_cache.stats,
+                tree_queries=0 if cached else self.last_plan_tree_queries,
+            )
             if reason is not None:
                 collector.extra["fallback_reason"] = reason
             self._stats[seq] = collector
         return self._plans[seq], self._stats[seq]
+
+    def _plan_or_reuse(self, patterns, memory_available, failed_nodes):
+        """Plan via the cache: returns ``((plan, tier, reason), cached)``.
+
+        The memory snapshot is normalised (every cluster node present)
+        exactly like :meth:`plan` does before the bucket digest is taken,
+        so digest and planner see the same state.
+        """
+        cache = self.plan_cache
+        if not cache.enabled:
+            entry = self._plan_with_fallback(
+                patterns, memory_available, failed_nodes
+            )
+            return entry, False
+        for node in self.comm.cluster.nodes:
+            memory_available.setdefault(node.node_id, node.memory.free_available)
+        stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
+        key = cache.signature(patterns, self.config, failed_nodes, stripe)
+        digest = (
+            ()
+            if self.config.memory_oblivious
+            else cache.memory_digest(memory_available, self.config)
+        )
+        entry = cache.lookup(key, digest)
+        if entry is not None:
+            return entry, True
+        entry = self._plan_with_fallback(patterns, memory_available, failed_nodes)
+        cache.store(key, digest, entry)
+        return entry, False
 
     def _independent_tier(self, ctx, pattern, payload, op, stats):
         """Process generator: serve the collective as independent I/O."""
@@ -205,9 +259,14 @@ class MemoryConsciousCollectiveIO:
         stats.extra["finishers"] = stats.extra.get("finishers", 0) + 1
         if stats.extra["finishers"] == self.comm.size:
             stats.mark_end(ctx.env.now)
-            self.history.append(stats.finalize())
+            final = stats.finalize()
+            self.history.append(final)
             del self._stats[seq]
             del self._plans[seq]
+            if final.failovers:
+                # aggregators moved mid-run: every cached plan (including
+                # the one just executed) now names stale placements
+                self.plan_cache.invalidate("failover")
 
     # ------------------------------------------------------------------
     def _plan_with_fallback(
@@ -283,6 +342,7 @@ class MemoryConsciousCollectiveIO:
         """
         cfg = self.config
         stripe = self.pfs.layout.stripe_size if cfg.stripe_align else 0
+        self.last_plan_tree_queries = 0
 
         groups = divide_groups(
             patterns, self.comm.placement, cfg.msg_group, stripe_size=stripe
@@ -336,15 +396,18 @@ class MemoryConsciousCollectiveIO:
             tree = PartitionTree(
                 group.region, group_data, msg_ind=msg_ind_eff, stripe_size=stripe
             )
-            domains = place_aggregators(
-                tree,
-                group.group_id,
-                members,
-                patterns,
-                self.comm.placement,
-                memory_available,
-                cfg,
-                host_state=host_state,
-            )
+            try:
+                domains = place_aggregators(
+                    tree,
+                    group.group_id,
+                    members,
+                    patterns,
+                    self.comm.placement,
+                    memory_available,
+                    cfg,
+                    host_state=host_state,
+                )
+            finally:
+                self.last_plan_tree_queries += tree.raw_queries
             all_domains.extend(_proportional_rebalance(domains, stripe))
         return ExecutionPlan.build(all_domains, patterns, n_groups=len(groups))

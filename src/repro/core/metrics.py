@@ -55,6 +55,17 @@ class CollectiveStats:
     io_abandons: int = 0
     #: Aggregator failovers performed mid-operation (failed host replaced).
     failovers: int = 0
+    #: True when this collective reused a cached plan instead of running
+    #: the planning pipeline (always False with the cache disabled).
+    plan_cached: bool = False
+    #: Cumulative plan-cache counters of the owning engine as of this
+    #: operation (monotone across an engine's history).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    #: Partition-tree data-size evaluations performed while planning this
+    #: collective (0 on a cache hit — the work a reused plan avoided).
+    planning_tree_queries: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -164,6 +175,11 @@ class StatsCollector:
         self.extra: dict = {}
         self.degraded_tier: Optional[str] = None
         self.failovers = 0
+        self.plan_cached = False
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.plan_cache_invalidations = 0
+        self.planning_tree_queries = 0
         self._pfs = None
         self._pfs_retries0 = 0
         self._pfs_abandons0 = 0
@@ -219,6 +235,17 @@ class StatsCollector:
         """Count aggregator failovers performed during the run."""
         self.failovers += count
 
+    def record_plan_cache(
+        self, cached: bool, cache_stats=None, tree_queries: int = 0
+    ) -> None:
+        """Record how planning was served (cache hit vs fresh pipeline)."""
+        self.plan_cached = cached
+        self.planning_tree_queries = int(tree_queries)
+        if cache_stats is not None:
+            self.plan_cache_hits = cache_stats.hits
+            self.plan_cache_misses = cache_stats.misses
+            self.plan_cache_invalidations = cache_stats.invalidations
+
     def attach_pfs(self, pfs) -> None:
         """Snapshot the file system's retry counters at operation start.
 
@@ -261,4 +288,9 @@ class StatsCollector:
                 self._pfs.io_abandons - self._pfs_abandons0 if self._pfs else 0
             ),
             failovers=self.failovers,
+            plan_cached=self.plan_cached,
+            plan_cache_hits=self.plan_cache_hits,
+            plan_cache_misses=self.plan_cache_misses,
+            plan_cache_invalidations=self.plan_cache_invalidations,
+            planning_tree_queries=self.planning_tree_queries,
         )

@@ -102,6 +102,9 @@ class PartitionTree:
         #: :attr:`_data_bytes_raw`.
         self._data_bytes_raw = data_bytes
         self._data_bytes_cache: dict[tuple[int, int], int] = {}
+        #: How many distinct extents were actually evaluated (memo misses)
+        #: — the unit of planning work the plan cache saves on a hit.
+        self.raw_queries = 0
         self.msg_ind = int(msg_ind)
         self.stripe_size = int(stripe_size)
         self.min_width = int(min_width)
@@ -116,6 +119,7 @@ class PartitionTree:
         cached = self._data_bytes_cache.get(key)
         if cached is None:
             cached = self._data_bytes_cache[key] = self._data_bytes_raw(lo, hi)
+            self.raw_queries += 1
         return cached
 
     # ------------------------------------------------------------------

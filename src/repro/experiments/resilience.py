@@ -224,6 +224,7 @@ def run(
                         nah=4, failover=degraded, fallback_chain=degraded,
                     ),
                 )
+                engine.watch_faults(injector)
 
             def main_fn(ctx):
                 # interleaved (coll_perf-style) pattern: every file domain

@@ -67,8 +67,22 @@ class FaultInjector:
         self.active: list[FaultEvent] = []
         self._proc: Optional[Process] = None
         self._reverts: list[Process] = []
+        #: Callbacks ``listener(event, phase)`` fired after every applied
+        #: (``phase="apply"``) and reverted (``phase="revert"``) fault —
+        #: e.g. a plan cache dropping its entries because the platform
+        #: state the plans were built against just changed.
+        self._listeners: list = []
         for ev in schedule:
             self._validate_target(ev)
+
+    # ------------------------------------------------------------------
+    def add_listener(self, listener) -> None:
+        """Register ``listener(event, phase)`` for fault apply/revert."""
+        self._listeners.append(listener)
+
+    def _notify(self, ev: FaultEvent, phase: str) -> None:
+        for listener in self._listeners:
+            listener(ev, phase)
 
     # ------------------------------------------------------------------
     def _validate_target(self, ev: FaultEvent) -> None:
@@ -141,6 +155,7 @@ class FaultInjector:
         elif ev.kind == "node_failure":
             self.cluster.nodes[ev.target].fail(ev.magnitude)
         self.applied[ev.kind] = self.applied.get(ev.kind, 0) + 1
+        self._notify(ev, "apply")
         if ev.duration is not None:
             self.active.append(ev)
             self._reverts.append(
@@ -151,6 +166,7 @@ class FaultInjector:
             )
 
     def _revert(self, ev: FaultEvent) -> None:
+        self._notify(ev, "revert")
         if ev.kind == "server_slowdown":
             server = self.pfs.servers[ev.target]
             server.set_degradation(max(1.0, server.degradation / ev.magnitude))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional, Sequence
+from typing import Any, Callable, Generator, Mapping, Optional, Sequence
 
 from repro.cluster import Cluster, Node
 from repro.sim import Environment, Event, Process
@@ -116,6 +116,9 @@ class _CollectiveState:
     event: Event
     values: dict[int, Any] = field(default_factory=dict)
     nbytes_max: int = 0
+    #: Per-destination-node paged flags deposited by
+    #: :meth:`SimComm.staged_batched_send` callers (or-merged).
+    paged_map: dict[int, bool] = field(default_factory=dict)
 
 
 class SimComm:
@@ -303,11 +306,21 @@ class SimComm:
         order).  Every participant resumes when the last wire transfer
         completes, mirroring the blocking-send semantics of the
         per-message path.
+
+        `paged_dst` may be a bool (applied to every destination node) or
+        a ``{node_id: bool}`` mapping; mapping entries from all
+        depositors are or-merged per destination node, letting one
+        rendezvous carry transfers toward a mix of healthy and
+        overcommitted aggregator hosts.
         """
         state = self._stage_state.get(key)
         if state is None:
             state = _CollectiveState(event=self.env.event())
             self._stage_state[key] = state
+        if isinstance(paged_dst, Mapping):
+            for nid, flag in paged_dst.items():
+                state.paged_map[nid] = state.paged_map.get(nid, False) or bool(flag)
+            paged_dst = False
         if items and isinstance(items[0], int):
             items = (items,)  # a single bare item tuple
         state.values[ctx.rank] = items
@@ -333,7 +346,9 @@ class SimComm:
                     )
                 for nid in sorted(by_dst):
                     yield from self.batched_send(
-                        ctx, by_dst[nid], paged_dst=paged_dst
+                        ctx,
+                        by_dst[nid],
+                        paged_dst=state.paged_map.get(nid, paged_dst),
                     )
                 event.succeed()
 

@@ -1,0 +1,282 @@
+"""Reusable collective plans: hit/miss behaviour and invalidation rules.
+
+The plan cache must be invisible in simulated results (planning costs no
+simulated time) while reusing plans only when every planning input still
+holds: identical access patterns + config + live-node set, and per-node
+available memory in the same remerge-relevant bucket.  These tests cover
+
+* repeated identical collectives hitting the cache (counters in
+  :class:`~repro.core.metrics.CollectiveStats`);
+* bit-identical traces cache-on vs cache-off;
+* a :mod:`repro.faults` memory shock crossing a remerge threshold
+  forcing a replan (both via the bucket digest and via the injector
+  listener wired by ``watch_faults``);
+* failover always invalidating;
+* the :class:`~repro.core.plan_cache.PlanCache` unit surface (LRU,
+  stale-digest demotion, bucket arithmetic).
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.cluster.memory import availability_bucket
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO, PlanCache
+from repro.core.request import AccessPattern, StridedSegment
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+
+from tests.helpers import make_stack, rank_payload
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def cache_cfg(**kw):
+    defaults = dict(
+        msg_group=16 * KIB, msg_ind=2 * KIB, mem_min=0, nah=2,
+        cb_buffer_size=2 * KIB, min_buffer=1, failover=False,
+        plan_cache=True,
+    )
+    defaults.update(kw)
+    return MCIOConfig(**defaults)
+
+
+def _pattern(rank: int) -> AccessPattern:
+    return AccessPattern(
+        (StridedSegment(rank * 64, 64, 1024, 8),)
+    )
+
+
+def _run_repeats(config, repeats=4, n_ranks=16, n_nodes=4, between=None):
+    """`repeats` identical collective writes; returns (stack, engine)."""
+    stack = make_stack(n_ranks=n_ranks, n_nodes=n_nodes, cores=4)
+    engine = MemoryConsciousCollectiveIO(stack.comm, stack.pfs, config)
+
+    def main(ctx):
+        pattern = _pattern(ctx.rank)
+        data = rank_payload(ctx.rank, pattern.nbytes)
+        for i in range(repeats):
+            yield from engine.write(ctx, pattern, data.copy())
+            if between is not None and ctx.rank == 0:
+                between(stack, i)
+
+    stack.run_spmd(main)
+    return stack, engine
+
+
+class TestPlanCacheHits:
+    def test_repeated_collectives_hit(self):
+        _, engine = _run_repeats(cache_cfg(), repeats=4)
+        assert engine.plan_cache.stats.misses == 1
+        assert engine.plan_cache.stats.hits == 3
+        assert engine.plan_cache.stats.invalidations == 0
+        assert [h.plan_cached for h in engine.history] == [
+            False, True, True, True,
+        ]
+
+    def test_counters_surface_in_stats(self):
+        _, engine = _run_repeats(cache_cfg(), repeats=3)
+        last = engine.history[-1]
+        assert last.plan_cache_hits == 2
+        assert last.plan_cache_misses == 1
+        assert last.plan_cache_invalidations == 0
+        # a hit reuses the partition trees: zero fresh evaluations
+        assert engine.history[0].planning_tree_queries > 0
+        assert last.planning_tree_queries == 0
+
+    def test_disabled_by_default(self):
+        _, engine = _run_repeats(cache_cfg(plan_cache=False), repeats=3)
+        assert engine.plan_cache.stats.lookups == 0
+        assert all(not h.plan_cached for h in engine.history)
+
+    def test_different_patterns_miss(self):
+        stack = make_stack(n_ranks=8, n_nodes=2, cores=4)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, cache_cfg()
+        )
+
+        def main(ctx):
+            for count in (4, 8):
+                pattern = AccessPattern(
+                    (StridedSegment(ctx.rank * 64, 64, 512, count),)
+                )
+                data = rank_payload(ctx.rank, pattern.nbytes)
+                yield from engine.write(ctx, pattern, data)
+
+        stack.run_spmd(main)
+        assert engine.plan_cache.stats.misses == 2
+        assert engine.plan_cache.stats.hits == 0
+
+
+class TestTraceEquivalence:
+    def _trace(self, plan_cache: bool):
+        stack, engine = _run_repeats(cache_cfg(plan_cache=plan_cache))
+        end = max(_pattern(r).end for r in range(stack.comm.size))
+        image = np.asarray(stack.pfs.datastore.read(0, end), dtype=np.uint8)
+        return (
+            float(stack.env.now).hex(),
+            hashlib.sha256(image.tobytes()).hexdigest(),
+            [
+                (
+                    float(h.elapsed).hex(), h.total_bytes, h.rounds_total,
+                    h.aggregator_ranks, h.shuffle_intra_node_bytes,
+                    h.shuffle_inter_node_bytes,
+                )
+                for h in engine.history
+            ],
+        )
+
+    def test_cached_and_fresh_plans_bit_identical(self):
+        assert self._trace(plan_cache=True) == self._trace(plan_cache=False)
+
+
+class TestInvalidation:
+    def test_memory_shock_crossing_bucket_forces_replan(self):
+        """A digest-visible availability drop demotes the cached plan."""
+
+        def shock(stack, i):
+            if i == 1:
+                # drop node 0 far below the nominal-buffer threshold —
+                # several remerge-relevant buckets away
+                stack.cluster.nodes[0].memory.apply_shock(10**9 - KIB)
+
+        _, engine = _run_repeats(cache_cfg(), repeats=4, between=shock)
+        assert engine.plan_cache.stats.invalidations >= 1
+        assert "memory-bucket-crossed" in engine.plan_cache.invalidation_log
+        # miss -> hit -> (shock) miss -> hit
+        assert [h.plan_cached for h in engine.history] == [
+            False, True, False, True,
+        ]
+
+    def test_sub_bucket_wiggle_still_hits(self):
+        """Availability noise inside one bucket must not replan."""
+
+        def wiggle(stack, i):
+            node = stack.cluster.nodes[0]
+            node.memory.set_available(node.memory.available - 100)
+
+        _, engine = _run_repeats(cache_cfg(), repeats=4, between=wiggle)
+        assert engine.plan_cache.stats.invalidations == 0
+        assert engine.plan_cache.stats.hits == 3
+
+    def test_injected_fault_invalidates_via_listener(self):
+        """watch_faults wires injector events straight to the cache."""
+        stack = make_stack(n_ranks=8, n_nodes=2, cores=4)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, cache_cfg()
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.0, kind="memory_shock", target=1,
+                        magnitude=float(64 * MIB), duration=10.0)]
+        )
+        injector = FaultInjector(stack.env, stack.cluster, stack.pfs, schedule)
+        engine.watch_faults(injector)
+
+        def main(ctx):
+            pattern = _pattern(ctx.rank)
+            data = rank_payload(ctx.rank, pattern.nbytes)
+            yield from engine.write(ctx, pattern, data)
+
+        # warm the cache, then let the injector fire before the next run
+        stack.run_spmd(main)
+        assert len(engine.plan_cache) == 1
+        injector.start()
+        stack.run_spmd(main)
+        injector.stop()
+        assert engine.plan_cache.stats.invalidations >= 1
+        assert any(
+            reason.startswith("fault:memory_shock")
+            for reason in engine.plan_cache.invalidation_log
+        )
+
+    def test_failover_always_invalidates(self):
+        """A mid-run aggregator failover clears every cached plan."""
+        stack = make_stack(memory_bytes=3 * 10**6)
+        nbytes = 1 * MIB
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            MCIOConfig(msg_ind=4 * MIB, mem_min=0, nah=4,
+                       cb_buffer_size=64 * KIB, failover=True,
+                       plan_cache=True),
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.05, kind="node_failure", target=0,
+                        magnitude=16.0)]
+        )
+        injector = FaultInjector(stack.env, stack.cluster, stack.pfs, schedule)
+        injector.start()
+
+        def main(ctx):
+            chunk = 64 * KIB
+            pattern = AccessPattern(
+                (StridedSegment(ctx.rank * chunk, chunk,
+                                stack.comm.size * chunk, nbytes // chunk),)
+            )
+            yield from engine.write(
+                ctx, pattern, rank_payload(ctx.rank, nbytes)
+            )
+
+        stack.run_spmd(main)
+        injector.stop()
+        assert engine.history[-1].failovers >= 1
+        assert "failover" in engine.plan_cache.invalidation_log
+        assert len(engine.plan_cache) == 0
+
+
+class TestPlanCacheUnit:
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.store("a", (), 1)
+        cache.store("b", (), 2)
+        assert cache.lookup("a", ()) == 1  # refresh "a"
+        cache.store("c", (), 3)  # evicts LRU "b"
+        assert cache.lookup("b", ()) is None
+        assert cache.lookup("a", ()) == 1
+        assert cache.lookup("c", ()) == 3
+
+    def test_stale_digest_counts_invalidation_then_miss(self):
+        cache = PlanCache()
+        cache.store("k", ("d1",), "plan")
+        assert cache.lookup("k", ("d2",)) is None
+        assert cache.stats.invalidations == 1
+        assert cache.stats.misses == 1
+        assert cache.invalidation_log == ["memory-bucket-crossed"]
+        assert len(cache) == 0
+
+    def test_disabled_cache_is_passthrough(self):
+        cache = PlanCache(enabled=False)
+        cache.store("k", (), "plan")
+        assert cache.lookup("k", ()) is None
+        assert cache.stats.lookups == 0
+        assert len(cache) == 0
+
+    def test_invalidate_counts_events_not_entries(self):
+        cache = PlanCache()
+        cache.store("a", (), 1)
+        cache.store("b", (), 2)
+        assert cache.invalidate("test") == 2
+        assert cache.stats.invalidations == 1
+        # an empty cache still counts the triggering event
+        cache.invalidate("again")
+        assert cache.stats.invalidations == 2
+
+    def test_availability_bucket(self):
+        thresholds = (1, 1024, 2048)
+        assert availability_bucket(0, thresholds, 2048) == (0, 0)
+        assert availability_bucket(1500, thresholds, 2048) == (2, 0)
+        assert availability_bucket(4096, thresholds, 2048) == (3, 2)
+        # same buckets for values the planner cannot distinguish
+        assert availability_bucket(4096, thresholds, 2048) == (
+            availability_bucket(4100, thresholds, 2048)
+        )
+        with pytest.raises(ValueError):
+            availability_bucket(-1, thresholds, 2048)
+
+    def test_hit_rate(self):
+        cache = PlanCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.store("k", (), 1)
+        cache.lookup("k", ())
+        cache.lookup("other", ())
+        assert cache.stats.hit_rate == 0.5

@@ -134,8 +134,15 @@ def build_patterns(case: ClusterCase) -> list[AccessPattern]:
     raise ValueError(f"unknown workload {case.workload!r}")
 
 
-def make_engine(strategy: str, stack, case: ClusterCase):
-    """The strategy under test, configured for `case`."""
+def make_engine(
+    strategy: str, stack, case: ClusterCase, mcio_overrides: Optional[dict] = None
+):
+    """The strategy under test, configured for `case`.
+
+    `mcio_overrides` patches extra :class:`MCIOConfig` knobs on top of
+    the case's pinned configuration (e.g. ``{"plan_cache": True}``) so
+    opt-in features can be replayed against the recorded goldens.
+    """
     if strategy == "two-phase":
         return TwoPhaseCollectiveIO(
             stack.comm,
@@ -146,18 +153,19 @@ def make_engine(strategy: str, stack, case: ClusterCase):
             ),
         )
     if strategy == "mcio":
+        kwargs = dict(
+            msg_group=16 * 1024,
+            msg_ind=2 * 1024,
+            mem_min=0,
+            nah=2,
+            cb_buffer_size=case.cb_buffer_size,
+            min_buffer=1,
+            shuffle_granularity=case.granularity,
+        )
+        if mcio_overrides:
+            kwargs.update(mcio_overrides)
         return MemoryConsciousCollectiveIO(
-            stack.comm,
-            stack.pfs,
-            MCIOConfig(
-                msg_group=16 * 1024,
-                msg_ind=2 * 1024,
-                mem_min=0,
-                nah=2,
-                cb_buffer_size=case.cb_buffer_size,
-                min_buffer=1,
-                shuffle_granularity=case.granularity,
-            ),
+            stack.comm, stack.pfs, MCIOConfig(**kwargs)
         )
     if strategy == "independent":
         return IndependentIO(stack.comm, stack.pfs)
@@ -205,7 +213,12 @@ def stats_to_jsonable(stats: CollectiveStats) -> dict:
     }
 
 
-def run_case(strategy: str, op: str, case: ClusterCase) -> dict:
+def run_case(
+    strategy: str,
+    op: str,
+    case: ClusterCase,
+    mcio_overrides: Optional[dict] = None,
+) -> dict:
     """Execute one matrix cell and return its full golden record."""
     patterns = build_patterns(case)
     stack = make_stack(
@@ -216,7 +229,7 @@ def run_case(strategy: str, op: str, case: ClusterCase) -> dict:
     )
     if case.memory_availability is not None:
         stack.cluster.set_memory_availability(case.memory_availability)
-    engine = make_engine(strategy, stack, case)
+    engine = make_engine(strategy, stack, case, mcio_overrides=mcio_overrides)
     end = max(p.end for p in patterns if not p.empty)
 
     if op == "write":
