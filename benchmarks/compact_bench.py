@@ -20,6 +20,14 @@ compact one, so older full-format trajectory files keep comparing.
 The compare step is *warn-only* by design — timing on shared CI runners
 is noisy — so its exit status is 0 unless inputs are malformed; CI
 surfaces regressions in the job summary instead of failing the build.
+
+A third subcommand::
+
+    python benchmarks/compact_bench.py overhead BENCH_FULL.json
+
+checks the observability subsystem's zero-cost-when-disabled claim: the
+event-loop chain with a disabled tracer installed must stay within 5% of
+the bare chain from the same run (also warn-only).
 """
 
 from __future__ import annotations
@@ -160,6 +168,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The tracer-off chain must stay within this ratio of the bare chain.
+OVERHEAD_THRESHOLD = 1.05
+
+#: Default (baseline, probe) pair for the overhead gate: the bare event
+#: loop vs the same loop with a disabled tracer installed.
+OVERHEAD_BASE = "test_event_loop_chain"
+OVERHEAD_PROBE = "test_event_loop_chain_tracer_off"
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    """Warn-only zero-cost-when-disabled gate within one benchmark file.
+
+    Compares the probe benchmark's median against the baseline's from the
+    *same* run, so runner speed cancels out.  Exit status is 0 unless the
+    input is malformed or either benchmark is missing — regressions are
+    surfaced as a warning, matching the compare step's philosophy.
+    """
+    records = {r["name"]: r for r in load_records(args.input)["benchmarks"]}
+    base, probe = records.get(args.base), records.get(args.probe)
+    if base is None or probe is None:
+        missing = args.base if base is None else args.probe
+        print(f"{args.input}: no benchmark named {missing!r}", file=sys.stderr)
+        return 2
+    if base["median"] <= 0:
+        print(f"{args.input}: zero baseline median", file=sys.stderr)
+        return 2
+    ratio = probe["median"] / base["median"]
+    line = (
+        f"{args.probe}: {_fmt_seconds(probe['median'])} vs "
+        f"{args.base}: {_fmt_seconds(base['median'])} "
+        f"({ratio:.3f}x, threshold {args.threshold:.2f}x)"
+    )
+    if ratio > args.threshold:
+        print(
+            f"⚠ disabled-tracer overhead above threshold — {line} "
+            "(warn-only; timing noise on shared runners is expected)"
+        )
+    else:
+        print(f"disabled-tracer overhead ok — {line}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     sub = parser.add_subparsers(dest="command", required=True)
@@ -188,6 +238,25 @@ def main(argv: list[str] | None = None) -> int:
         help="emit a GitHub-flavoured table for the job summary",
     )
     p_compare.set_defaults(func=cmd_compare)
+
+    p_overhead = sub.add_parser(
+        "overhead",
+        help="warn-only disabled-tracer overhead check within one file",
+    )
+    p_overhead.add_argument("input", type=Path)
+    p_overhead.add_argument(
+        "--base", default=OVERHEAD_BASE,
+        help=f"baseline benchmark name (default {OVERHEAD_BASE})",
+    )
+    p_overhead.add_argument(
+        "--probe", default=OVERHEAD_PROBE,
+        help=f"probe benchmark name (default {OVERHEAD_PROBE})",
+    )
+    p_overhead.add_argument(
+        "--threshold", type=float, default=OVERHEAD_THRESHOLD,
+        help=f"overhead ratio to warn at (default {OVERHEAD_THRESHOLD})",
+    )
+    p_overhead.set_defaults(func=cmd_overhead)
 
     args = parser.parse_args(argv)
     return args.func(args)

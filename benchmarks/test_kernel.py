@@ -55,6 +55,50 @@ def test_event_loop_chain(benchmark):
     assert benchmark(_spin, 20_000) == 20_000.0
 
 
+def _spin_with_tracer(n_steps, tracer_factory):
+    env = Environment()
+    tracer_factory().install(env)
+
+    def ticker(env, n):
+        delay = getattr(env, "sleep", env.timeout)
+        for _ in range(n):
+            yield delay(1.0)
+
+    env.process(ticker(env, n_steps))
+    env.run()
+    return env.now
+
+
+def test_event_loop_chain_tracer_off(benchmark):
+    """The same chain with a *disabled* tracer installed.
+
+    This is the zero-cost-when-disabled claim in benchmark form: every
+    instrumentation site guards on ``tracer.enabled``, so the median here
+    must track ``test_event_loop_chain`` closely (CI compares the two via
+    ``compact_bench.py overhead``, warn-only, 5% threshold).
+    """
+    from repro.obs import Tracer
+
+    result = benchmark(
+        _spin_with_tracer, 20_000, lambda: Tracer(enabled=False)
+    )
+    assert result == 20_000.0
+
+
+def test_event_loop_chain_traced(benchmark):
+    """The same chain with tracing *enabled* (ring-buffer recording on).
+
+    Not part of the overhead gate — it bounds what enabling tracing
+    costs on the kernel's hottest path, for the DESIGN.md numbers.
+    """
+    from repro.obs import Tracer
+
+    result = benchmark(
+        _spin_with_tracer, 20_000, lambda: Tracer(capacity=1024)
+    )
+    assert result == 20_000.0
+
+
 # ---------------------------------------------------------------------------
 # shuffle round: per-message vs batched granularity
 # ---------------------------------------------------------------------------

@@ -343,28 +343,41 @@ def execute_collective(
     if granularity == "round" and not intra_node:
         run.failover_config = failover_config
 
-    # allocate this rank's aggregation buffers for the whole operation
-    for did, domain in enumerate(run.domains):
-        if domain.aggregator_rank != ctx.rank:
-            continue
-        _alloc_aggregator_buffer(run, did, domain)
-        stats.record_rounds(rounds_for(domain.extent.length, domain.buffer_bytes))
-
+    tracer = env.tracer
+    pid = comm.placement[ctx.rank]
+    if tracer.enabled:
+        tracer.begin(
+            "collective", f"collective.{op}", pid, ctx.rank,
+            strategy=stats.strategy, seq=op_seq, granularity=granularity,
+        )
     try:
-        if intra_node:
-            yield from _run_intra_node(run)
-        elif granularity == "round":
-            yield from _run_lockstep(run)
-        elif granularity == "batched":
-            yield from _run_batched(run)
-        else:
-            yield from _run_streaming(run)
+        # allocate this rank's aggregation buffers for the whole operation
+        for did, domain in enumerate(run.domains):
+            if domain.aggregator_rank != ctx.rank:
+                continue
+            _alloc_aggregator_buffer(run, did, domain)
+            stats.record_rounds(
+                rounds_for(domain.extent.length, domain.buffer_bytes)
+            )
+
+        try:
+            if intra_node:
+                yield from _run_intra_node(run)
+            elif granularity == "round":
+                yield from _run_lockstep(run)
+            elif granularity == "batched":
+                yield from _run_batched(run)
+            else:
+                yield from _run_streaming(run)
+        finally:
+            for alloc in run.allocs.values():
+                ctx.node.memory.free(alloc)
+            run.allocs.clear()
+        yield from comm.barrier(ctx)
+        stats.mark_end(env.now)
     finally:
-        for alloc in run.allocs.values():
-            ctx.node.memory.free(alloc)
-        run.allocs.clear()
-    yield from comm.barrier(ctx)
-    stats.mark_end(env.now)
+        if tracer.enabled:
+            tracer.end(pid, ctx.rank)
     return payload
 
 
@@ -389,37 +402,45 @@ def _run_lockstep(run: _RunContext):
     ctx, comm = run.ctx, run.comm
     plan, patterns = run.plan, run.patterns
     ntimes = plan.ntimes
+    tracer = ctx.env.tracer
+    pid = comm.placement[ctx.rank]
     for t in range(ntimes):
-        if run.failover_config is not None:
-            yield from _failover_check(run, t)
-        procs = []
-        for did, domain in enumerate(run.domains):
-            window = _round_extent(domain, t)
-            if window is None:
-                continue
-            if domain.aggregator_rank == ctx.rank:
-                procs.append(
-                    ctx.spawn(
-                        _aggregator_window(
-                            run, did, window, t, run.paged_flags[did]
-                        ),
-                        name=f"rank{ctx.rank}.agg{did}.r{t}",
+        if tracer.enabled:
+            tracer.begin("shuffle", "shuffle.round", pid, ctx.rank, round=t)
+        try:
+            if run.failover_config is not None:
+                yield from _failover_check(run, t)
+            procs = []
+            for did, domain in enumerate(run.domains):
+                window = _round_extent(domain, t)
+                if window is None:
+                    continue
+                if domain.aggregator_rank == ctx.rank:
+                    procs.append(
+                        ctx.spawn(
+                            _aggregator_window(
+                                run, did, window, t, run.paged_flags[did]
+                            ),
+                            name=f"rank{ctx.rank}.agg{did}.r{t}",
+                        )
                     )
-                )
-            if plan.is_window_sender(
-                ctx.rank, did, window.offset, window.end, patterns
-            ):
-                procs.append(
-                    ctx.spawn(
-                        _member_window(run, did, window, t),
-                        name=f"rank{ctx.rank}.m{did}.r{t}",
+                if plan.is_window_sender(
+                    ctx.rank, did, window.offset, window.end, patterns
+                ):
+                    procs.append(
+                        ctx.spawn(
+                            _member_window(run, did, window, t),
+                            name=f"rank{ctx.rank}.m{did}.r{t}",
+                        )
                     )
-                )
-        if procs:
-            yield ctx.env.all_of(procs)
-        # ROMIO's per-round synchronisation: the exchange of the next
-        # round cannot start before everyone finished this one
-        yield from comm.barrier(ctx)
+            if procs:
+                yield ctx.env.all_of(procs)
+            # ROMIO's per-round synchronisation: the exchange of the next
+            # round cannot start before everyone finished this one
+            yield from comm.barrier(ctx)
+        finally:
+            if tracer.enabled:
+                tracer.end(pid, ctx.rank, round=t)
 
 
 def _failover_check(run: _RunContext, t: int):
@@ -472,6 +493,13 @@ def _failover_check(run: _RunContext, t: int):
             run.stats.extra.setdefault("failover_targets", []).append(
                 new.aggregator_rank
             )
+            tracer = ctx.env.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "failover", "failover.move",
+                    comm.placement[ctx.rank], ctx.rank,
+                    domain=did, round=t, from_rank=old.aggregator_rank,
+                )
     if decision.kept and ctx.rank == comm.world.ranks[0]:
         run.stats.extra["failover_kept"] = (
             run.stats.extra.get("failover_kept", 0) + len(decision.kept)
@@ -496,33 +524,41 @@ def _run_batched(run: _RunContext):
     ctx, comm = run.ctx, run.comm
     plan, patterns = run.plan, run.patterns
     ntimes = plan.ntimes
+    tracer = ctx.env.tracer
+    pid = comm.placement[ctx.rank]
     for t in range(ntimes):
-        procs = []
-        for did, domain in enumerate(run.domains):
-            window = _round_extent(domain, t)
-            if window is None:
-                continue
-            if domain.aggregator_rank == ctx.rank:
-                procs.append(
-                    ctx.spawn(
-                        _aggregator_window_batched(
-                            run, did, window, t, run.paged_flags[did]
-                        ),
-                        name=f"rank{ctx.rank}.agg{did}.r{t}",
+        if tracer.enabled:
+            tracer.begin("shuffle", "shuffle.round", pid, ctx.rank, round=t)
+        try:
+            procs = []
+            for did, domain in enumerate(run.domains):
+                window = _round_extent(domain, t)
+                if window is None:
+                    continue
+                if domain.aggregator_rank == ctx.rank:
+                    procs.append(
+                        ctx.spawn(
+                            _aggregator_window_batched(
+                                run, did, window, t, run.paged_flags[did]
+                            ),
+                            name=f"rank{ctx.rank}.agg{did}.r{t}",
+                        )
                     )
-                )
-            if plan.is_window_sender(
-                ctx.rank, did, window.offset, window.end, patterns
-            ):
-                procs.append(
-                    ctx.spawn(
-                        _member_window_batched(run, did, window, t),
-                        name=f"rank{ctx.rank}.m{did}.r{t}",
+                if plan.is_window_sender(
+                    ctx.rank, did, window.offset, window.end, patterns
+                ):
+                    procs.append(
+                        ctx.spawn(
+                            _member_window_batched(run, did, window, t),
+                            name=f"rank{ctx.rank}.m{did}.r{t}",
+                        )
                     )
-                )
-        if procs:
-            yield ctx.env.all_of(procs)
-        yield from comm.barrier(ctx)
+            if procs:
+                yield ctx.env.all_of(procs)
+            yield from comm.barrier(ctx)
+        finally:
+            if tracer.enabled:
+                tracer.end(pid, ctx.rank, round=t)
 
 
 def _aggregator_window_batched(
@@ -608,36 +644,44 @@ def _run_intra_node(run: _RunContext):
     ctx, comm = run.ctx, run.comm
     plan, patterns = run.plan, run.patterns
     ntimes = plan.ntimes
+    tracer = ctx.env.tracer
+    pid = comm.placement[ctx.rank]
     for t in range(ntimes):
-        procs = []
-        member = False
-        for did, domain in enumerate(run.domains):
-            window = _round_extent(domain, t)
-            if window is None:
-                continue
-            if domain.aggregator_rank == ctx.rank:
+        if tracer.enabled:
+            tracer.begin("shuffle", "shuffle.round", pid, ctx.rank, round=t)
+        try:
+            procs = []
+            member = False
+            for did, domain in enumerate(run.domains):
+                window = _round_extent(domain, t)
+                if window is None:
+                    continue
+                if domain.aggregator_rank == ctx.rank:
+                    procs.append(
+                        ctx.spawn(
+                            _aggregator_window_ina(
+                                run, did, window, t, run.paged_flags[did]
+                            ),
+                            name=f"rank{ctx.rank}.agg{did}.r{t}",
+                        )
+                    )
+                if plan.is_window_sender(
+                    ctx.rank, did, window.offset, window.end, patterns
+                ):
+                    member = True
+            if member:
                 procs.append(
                     ctx.spawn(
-                        _aggregator_window_ina(
-                            run, did, window, t, run.paged_flags[did]
-                        ),
-                        name=f"rank{ctx.rank}.agg{did}.r{t}",
+                        _member_round_ina(run, t),
+                        name=f"rank{ctx.rank}.ina.r{t}",
                     )
                 )
-            if plan.is_window_sender(
-                ctx.rank, did, window.offset, window.end, patterns
-            ):
-                member = True
-        if member:
-            procs.append(
-                ctx.spawn(
-                    _member_round_ina(run, t),
-                    name=f"rank{ctx.rank}.ina.r{t}",
-                )
-            )
-        if procs:
-            yield ctx.env.all_of(procs)
-        yield from comm.barrier(ctx)
+            if procs:
+                yield ctx.env.all_of(procs)
+            yield from comm.barrier(ctx)
+        finally:
+            if tracer.enabled:
+                tracer.end(pid, ctx.rank, round=t)
 
 
 def _ina_groups(run: _RunContext, did: int, window: Extent) -> dict[int, list[int]]:
@@ -748,6 +792,8 @@ def _member_round_ina_write(run: _RunContext, t: int):
         else:
             duties.append((did, local, q, data, paged_wire))
     if duties:
+        tracer = env.tracer
+        lead_t0 = tracer.now() if tracer.enabled else 0.0
         n_leaders = _ina_leader_count(run, t, my_node)
         items = []
         staging = []
@@ -781,6 +827,13 @@ def _member_round_ina_write(run: _RunContext, t: int):
         )
         for alloc in staging:
             ctx.node.memory.free(alloc)
+        if tracer.enabled:
+            tracer.complete(
+                "shuffle", "shuffle.ina.lead", my_node, ctx.rank,
+                lead_t0, tracer.now() - lead_t0,
+                round=t, domains=len(duties),
+                bytes=sum(it[2] for it in items),
+            )
     if sends:
         yield env.all_of(sends)
 

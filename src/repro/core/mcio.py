@@ -24,6 +24,7 @@ Execution is the shared machinery in :mod:`repro.core.engine`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.core.plan_cache import PlanCache
 from repro.core.request import AccessPattern
 from repro.core.two_phase import default_aggregators
 from repro.mpi.comm import RankContext, SimComm
+from repro.obs.tracer import PID_PLANNER
 from repro.pfs.filesystem import ParallelFileSystem
 
 __all__ = ["MemoryConsciousCollectiveIO"]
@@ -182,6 +184,9 @@ class MemoryConsciousCollectiveIO:
 
     def _prepare(self, seq, patterns, mem_state, op):
         if seq not in self._plans:
+            # the cache has no environment of its own: point it at the
+            # live tracer so hit/miss/invalidate instants land in-trace
+            self.plan_cache.tracer = self.comm.env.tracer
             memory_available = {}
             failed_nodes = set()
             for node_id, avail, failed in mem_state:
@@ -343,10 +348,22 @@ class MemoryConsciousCollectiveIO:
         cfg = self.config
         stripe = self.pfs.layout.stripe_size if cfg.stripe_align else 0
         self.last_plan_tree_queries = 0
+        # Planning costs no simulated time: its spans sit at the current
+        # sim instant on the planner track with zero sim duration, and
+        # the host-side cost rides along as a wall_us annotation.
+        tracer = self.comm.env.tracer
 
+        wall0 = perf_counter() if tracer.enabled else 0.0
         groups = divide_groups(
             patterns, self.comm.placement, cfg.msg_group, stripe_size=stripe
         )
+        if tracer.enabled:
+            tracer.complete(
+                "plan", "plan.group_division", PID_PLANNER, 0,
+                tracer.now(), 0.0,
+                groups=len(groups),
+                wall_us=(perf_counter() - wall0) * 1e6,
+            )
         if not groups:
             return ExecutionPlan((), (), n_groups=0)
 
@@ -393,9 +410,22 @@ class MemoryConsciousCollectiveIO:
                 cfg.msg_ind, -(-group_bytes // max(1, slots))
             )
 
+            wall0 = perf_counter() if tracer.enabled else 0.0
             tree = PartitionTree(
                 group.region, group_data, msg_ind=msg_ind_eff, stripe_size=stripe
             )
+            # forcing the initial bisection here (rather than inside the
+            # placer's first pass) is behaviour-neutral — data_bytes is
+            # memoised — and gives the remerge count below a baseline
+            initial_leaves = tree.n_leaves
+            if tracer.enabled:
+                tracer.complete(
+                    "plan", "plan.partition_tree", PID_PLANNER, 0,
+                    tracer.now(), 0.0,
+                    group=group.group_id, leaves=initial_leaves,
+                    wall_us=(perf_counter() - wall0) * 1e6,
+                )
+                wall0 = perf_counter()
             try:
                 domains = place_aggregators(
                     tree,
@@ -409,5 +439,25 @@ class MemoryConsciousCollectiveIO:
                 )
             finally:
                 self.last_plan_tree_queries += tree.raw_queries
+            if tracer.enabled:
+                # each remerge folds one leaf into a neighbour, so the
+                # leaf deficit is exactly the remerge count
+                tracer.complete(
+                    "plan", "plan.placement", PID_PLANNER, 0,
+                    tracer.now(), 0.0,
+                    group=group.group_id, domains=len(domains),
+                    remerges=initial_leaves - len(domains),
+                    paged=sum(1 for d in domains if d.paged),
+                    tree_queries=tree.raw_queries,
+                    wall_us=(perf_counter() - wall0) * 1e6,
+                )
+                wall0 = perf_counter()
             all_domains.extend(_proportional_rebalance(domains, stripe))
+            if tracer.enabled:
+                tracer.complete(
+                    "plan", "plan.rebalance", PID_PLANNER, 0,
+                    tracer.now(), 0.0,
+                    group=group.group_id,
+                    wall_us=(perf_counter() - wall0) * 1e6,
+                )
         return ExecutionPlan.build(all_domains, patterns, n_groups=len(groups))

@@ -20,7 +20,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["StatsCollector", "CollectiveStats"]
+
+#: JSON-safe scalar types kept when serializing ``extra`` (runtime objects
+#: like partition trees are dropped, matching the persistence contract).
+_SCALARS = (int, float, str, bool)
 
 
 @dataclass
@@ -153,28 +159,158 @@ class CollectiveStats:
             f"{self.rounds_total} rounds{degraded}{resilience})"
         )
 
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Serialize to plain JSON types (the one canonical encoding).
+
+        Dict keys become strings (JSON objects), tuples become lists and
+        ``extra`` is filtered to scalar values — runtime objects stashed
+        there (trees, plans) are not representable and are dropped.
+        """
+        return {
+            "strategy": self.strategy,
+            "op": self.op,
+            "total_bytes": self.total_bytes,
+            "elapsed": self.elapsed,
+            "n_ranks": self.n_ranks,
+            "n_aggregators": self.n_aggregators,
+            "aggregator_ranks": list(self.aggregator_ranks),
+            "agg_buffer_bytes": {
+                str(k): v for k, v in self.agg_buffer_bytes.items()
+            },
+            "agg_overcommit_bytes": {
+                str(k): v for k, v in self.agg_overcommit_bytes.items()
+            },
+            "paged_aggregators": self.paged_aggregators,
+            "rounds_total": self.rounds_total,
+            "shuffle_intra_node_bytes": self.shuffle_intra_node_bytes,
+            "shuffle_inter_node_bytes": self.shuffle_inter_node_bytes,
+            "shuffle_inter_group_bytes": self.shuffle_inter_group_bytes,
+            "n_groups": self.n_groups,
+            "extra": {
+                k: v for k, v in self.extra.items() if isinstance(v, _SCALARS)
+            },
+            "degraded_tier": self.degraded_tier,
+            "io_retries": self.io_retries,
+            "io_abandons": self.io_abandons,
+            "failovers": self.failovers,
+            "plan_cached": self.plan_cached,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
+            "planning_tree_queries": self.planning_tree_queries,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "CollectiveStats":
+        """Rebuild from :meth:`to_json` output.
+
+        Fields missing from `d` (older files) fall back to the dataclass
+        defaults, so documents written before a field existed still load.
+        """
+        return cls(
+            strategy=d["strategy"],
+            op=d["op"],
+            total_bytes=d["total_bytes"],
+            elapsed=d["elapsed"],
+            n_ranks=d["n_ranks"],
+            n_aggregators=d["n_aggregators"],
+            aggregator_ranks=tuple(d["aggregator_ranks"]),
+            agg_buffer_bytes={
+                int(k): v for k, v in d["agg_buffer_bytes"].items()
+            },
+            agg_overcommit_bytes={
+                int(k): v for k, v in d.get("agg_overcommit_bytes", {}).items()
+            },
+            paged_aggregators=d["paged_aggregators"],
+            rounds_total=d["rounds_total"],
+            shuffle_intra_node_bytes=d["shuffle_intra_node_bytes"],
+            shuffle_inter_node_bytes=d["shuffle_inter_node_bytes"],
+            shuffle_inter_group_bytes=d["shuffle_inter_group_bytes"],
+            n_groups=d.get("n_groups", 1),
+            extra=dict(d.get("extra", {})),
+            degraded_tier=d.get("degraded_tier"),
+            io_retries=d.get("io_retries", 0),
+            io_abandons=d.get("io_abandons", 0),
+            failovers=d.get("failovers", 0),
+            plan_cached=d.get("plan_cached", False),
+            plan_cache_hits=d.get("plan_cache_hits", 0),
+            plan_cache_misses=d.get("plan_cache_misses", 0),
+            plan_cache_invalidations=d.get("plan_cache_invalidations", 0),
+            planning_tree_queries=d.get("planning_tree_queries", 0),
+        )
+
 
 class StatsCollector:
-    """Mutable accumulator shared by all rank processes during one run."""
+    """Mutable accumulator shared by all rank processes during one run.
 
-    def __init__(self, strategy: str, op: str, n_ranks: int):
+    All quantitative accounting lives in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (one per collector unless
+    a shared one is injected); the legacy attribute surface
+    (``total_bytes``, ``shuffle_intra_node_bytes``, ...) is preserved as
+    read-only views over the registry, so :meth:`finalize` and every
+    live reader see the same numbers by construction.
+
+    Counters and gauges store the exact integers they are given — the
+    golden-trace suite compares collective summaries bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        strategy: str,
+        op: str,
+        n_ranks: int,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.strategy = strategy
         self.op = op
         self.n_ranks = n_ranks
-        self.total_bytes = 0
+        #: Backing store for all counted/gauged quantities.  Injecting a
+        #: shared registry merges accounting across collectors (the
+        #: instruments are get-or-create), so per-operation summaries
+        #: want the default fresh registry.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._c_io_bytes = self.registry.counter(
+            "io_bytes_total", "bytes moved to/from the file system"
+        )
+        self._c_shuffle = self.registry.counter(
+            "shuffle_bytes_total",
+            "shuffle traffic by locality",
+            labelnames=("path",),
+        )
+        self._c_rounds = self.registry.counter(
+            "shuffle_rounds_total", "aggregator round executions"
+        )
+        self._c_failovers = self.registry.counter(
+            "failovers_total", "mid-operation aggregator failovers"
+        )
+        self._g_agg_buffer = self.registry.gauge(
+            "agg_buffer_bytes",
+            "peak aggregation-buffer bytes per aggregator rank",
+            labelnames=("rank",),
+        )
+        self._g_agg_overcommit = self.registry.gauge(
+            "agg_overcommit_bytes",
+            "peak host-memory overcommit per aggregator rank",
+            labelnames=("rank",),
+        )
+        self._g_agg_paged = self.registry.gauge(
+            "agg_paged",
+            "1 for aggregator ranks whose buffers spilled to paging",
+            labelnames=("rank",),
+        )
+        self._h_shuffle_msg = self.registry.histogram(
+            "shuffle_message_bytes",
+            "per-message shuffle payload sizes",
+            labelnames=("path",),
+        )
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
-        self.agg_buffer_bytes: dict[int, int] = {}
-        self.agg_overcommit_bytes: dict[int, int] = {}
-        self.paged_aggregators: set[int] = set()
-        self.rounds_total = 0
-        self.shuffle_intra_node_bytes = 0
-        self.shuffle_inter_node_bytes = 0
-        self.shuffle_inter_group_bytes = 0
         self.n_groups = 1
         self.extra: dict = {}
         self.degraded_tier: Optional[str] = None
-        self.failovers = 0
         self.plan_cached = False
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
@@ -183,6 +319,56 @@ class StatsCollector:
         self._pfs = None
         self._pfs_retries0 = 0
         self._pfs_abandons0 = 0
+
+    # ------------------------------------------------------------------
+    # registry views (the legacy attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved to/from the file system so far."""
+        return self._c_io_bytes.value()
+
+    @property
+    def rounds_total(self) -> int:
+        """Aggregator round executions so far."""
+        return self._c_rounds.value()
+
+    @property
+    def shuffle_intra_node_bytes(self) -> int:
+        """Shuffle bytes that stayed on their sender's node."""
+        return self._c_shuffle.value(path="intra_node")
+
+    @property
+    def shuffle_inter_node_bytes(self) -> int:
+        """Shuffle bytes that crossed nodes."""
+        return self._c_shuffle.value(path="inter_node")
+
+    @property
+    def shuffle_inter_group_bytes(self) -> int:
+        """Shuffle bytes that crossed group boundaries (MCIO: zero)."""
+        return self._c_shuffle.value(path="inter_group")
+
+    @property
+    def failovers(self) -> int:
+        """Aggregator failovers performed so far."""
+        return self._c_failovers.value()
+
+    @property
+    def agg_buffer_bytes(self) -> dict[int, int]:
+        """Peak aggregation-buffer bytes per aggregator rank."""
+        return {rank: v for (rank,), v in self._g_agg_buffer.values().items()}
+
+    @property
+    def agg_overcommit_bytes(self) -> dict[int, int]:
+        """Peak host-memory overcommit per aggregator rank."""
+        return {
+            rank: v for (rank,), v in self._g_agg_overcommit.values().items()
+        }
+
+    @property
+    def paged_aggregators(self) -> set[int]:
+        """Ranks whose aggregation buffers spilled to paging."""
+        return {rank for (rank,) in self._g_agg_paged.values()}
 
     # ------------------------------------------------------------------
     def mark_start(self, now: float) -> None:
@@ -199,33 +385,28 @@ class StatsCollector:
         self, rank: int, buffer_bytes: int, paged: bool, overcommit_bytes: int = 0
     ) -> None:
         """Register an aggregator's buffer commitment."""
-        self.agg_buffer_bytes[rank] = max(
-            self.agg_buffer_bytes.get(rank, 0), buffer_bytes
-        )
-        self.agg_overcommit_bytes[rank] = max(
-            self.agg_overcommit_bytes.get(rank, 0), int(overcommit_bytes)
-        )
+        self._g_agg_buffer.set_max(buffer_bytes, rank=rank)
+        self._g_agg_overcommit.set_max(int(overcommit_bytes), rank=rank)
         if paged:
-            self.paged_aggregators.add(rank)
+            self._g_agg_paged.set(1, rank=rank)
 
     def record_shuffle(
         self, nbytes: int, same_node: bool, same_group: bool = True
     ) -> None:
         """Account one shuffle message."""
-        if same_node:
-            self.shuffle_intra_node_bytes += nbytes
-        else:
-            self.shuffle_inter_node_bytes += nbytes
+        path = "intra_node" if same_node else "inter_node"
+        self._c_shuffle.inc(nbytes, path=path)
+        self._h_shuffle_msg.observe(nbytes, path=path)
         if not same_group:
-            self.shuffle_inter_group_bytes += nbytes
+            self._c_shuffle.inc(nbytes, path="inter_group")
 
     def record_rounds(self, rounds: int) -> None:
         """Add an aggregator's executed round count."""
-        self.rounds_total += rounds
+        self._c_rounds.inc(rounds)
 
     def record_bytes(self, nbytes: int) -> None:
         """Add bytes moved to/from the file system."""
-        self.total_bytes += nbytes
+        self._c_io_bytes.inc(nbytes)
 
     def set_tier(self, tier: Optional[str]) -> None:
         """Record the degradation tier that served the collective."""
@@ -233,7 +414,7 @@ class StatsCollector:
 
     def record_failover(self, count: int = 1) -> None:
         """Count aggregator failovers performed during the run."""
-        self.failovers += count
+        self._c_failovers.inc(count)
 
     def record_plan_cache(
         self, cached: bool, cache_stats=None, tree_queries: int = 0

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Mapping, Optional, Sequence
 
 from repro.cluster.memory import availability_bucket
+from repro.obs.tracer import NULL_TRACER, PID_PLANNER
 
 __all__ = ["PlanCache", "PlanCacheStats"]
 
@@ -89,6 +90,9 @@ class PlanCache:
         self.stats = PlanCacheStats()
         #: Reasons of explicit invalidations, newest last (diagnostics).
         self.invalidation_log: list[str] = []
+        #: Trace sink; the owning engine points this at its environment's
+        #: tracer before each collective (the cache itself has no env).
+        self.tracer = NULL_TRACER
         self._entries: OrderedDict[Hashable, tuple[Any, Any]] = OrderedDict()
 
     def __len__(self) -> int:
@@ -150,11 +154,26 @@ class PlanCache:
             if held_digest == digest:
                 self.stats.hits += 1
                 self._entries.move_to_end(key)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "plan_cache", "plan_cache.hit", PID_PLANNER, 0,
+                        entries=len(self._entries),
+                    )
                 return entry
             del self._entries[key]
             self.stats.invalidations += 1
             self.invalidation_log.append("memory-bucket-crossed")
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "plan_cache", "plan_cache.invalidate", PID_PLANNER, 0,
+                    reason="memory-bucket-crossed",
+                )
         self.stats.misses += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "plan_cache", "plan_cache.miss", PID_PLANNER, 0,
+                entries=len(self._entries),
+            )
         return None
 
     def store(self, key: Hashable, digest: tuple, entry: Any) -> None:
@@ -182,6 +201,11 @@ class PlanCache:
         if self.enabled:
             self.stats.invalidations += 1
             self.invalidation_log.append(reason)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "plan_cache", "plan_cache.invalidate", PID_PLANNER, 0,
+                    reason=reason, dropped=dropped,
+                )
         return dropped
 
     def on_fault_event(self, event: Any, phase: str = "apply") -> None:

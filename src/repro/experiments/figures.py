@@ -111,8 +111,8 @@ class FigureResult:
         return issues
 
 
-def run_figure(config: FigureConfig) -> FigureResult:
-    """Execute a figure's sweep."""
+def run_figure(config: FigureConfig, tracer=None) -> FigureResult:
+    """Execute a figure's sweep (optionally tracing every point)."""
     points = run_memory_sweep(
         spec=config.spec,
         patterns=config.patterns(),
@@ -121,6 +121,7 @@ def run_figure(config: FigureConfig) -> FigureResult:
         seed=config.seed,
         mcio_config=config.mcio,
         granularity=config.granularity,
+        tracer=tracer,
     )
     return FigureResult(config=config, points=points)
 
@@ -143,11 +144,30 @@ def figure_cli(
         default=None,
         help="also save the sweep points as JSON (repro.sweep/1 schema)",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export a Chrome/Perfetto trace of the whole sweep to PATH",
+    )
     args = parser.parse_args(argv)
     factory = small_factory if args.scale == "small" else paper_factory
     config = factory(seed=args.seed)
-    result = run_figure(config)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(capacity=1 << 20)
+    result = run_figure(config, tracer=tracer)
     print(result.render())
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(tracer, args.trace_out)
+        print(
+            f"\nwrote {len(tracer)} trace events to {args.trace_out} "
+            f"({tracer.dropped} dropped) — load in ui.perfetto.dev"
+        )
     if args.json:
         from .persistence import save_points
 

@@ -33,6 +33,7 @@ from repro.core import (
 )
 from repro.core.request import AccessPattern
 from repro.mpi import SimComm
+from repro.obs import Tracer
 from repro.pfs import ParallelFileSystem, SparseFile
 from repro.sim import Environment, RngFactory
 
@@ -55,9 +56,17 @@ class Platform:
         n_ranks: int,
         seed: int = 0,
         with_data: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> "Platform":
-        """Construct env + cluster + comm + PFS from a spec."""
+        """Construct env + cluster + comm + PFS from a spec.
+
+        A `tracer` is installed on the fresh environment with an offset
+        of its current ``max_ts()``, so one tracer passed to a sequence
+        of builds lays the runs end to end on a single timeline.
+        """
         env = Environment()
+        if tracer is not None:
+            tracer.install(env, offset=tracer.max_ts())
         cluster = Cluster(env, spec, RngFactory(seed))
         placement = block_placement(n_ranks, spec.nodes, spec.node.cores)
         comm = SimComm(env, cluster, placement)
@@ -118,6 +127,7 @@ def run_memory_sweep(
     ops: Sequence[str] = ("write", "read"),
     strategies: Sequence[str] = ("two-phase", "mcio"),
     granularity: str = "round",
+    tracer: Optional[Tracer] = None,
 ) -> list[SweepPoint]:
     """The paper's evaluation loop.
 
@@ -143,6 +153,10 @@ def run_memory_sweep(
         Which operations to measure (order preserved).
     strategies:
         Subset of ``("two-phase", "mcio")``.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` installed on every point's
+        platform (timelines concatenated), for exporting the whole sweep
+        as one trace.
 
     Returns
     -------
@@ -157,7 +171,7 @@ def run_memory_sweep(
     points: list[SweepPoint] = []
     for buffer in buffer_sizes:
         for strategy in strategies:
-            platform = Platform.build(spec, n_ranks, seed=seed)
+            platform = Platform.build(spec, n_ranks, seed=seed, tracer=tracer)
             platform.cluster.sample_memory_availability(
                 mean_bytes=float(buffer), sigma_bytes=float(sigma_bytes)
             )

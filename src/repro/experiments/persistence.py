@@ -33,55 +33,17 @@ _SCHEMA = "repro.sweep/1"
 
 
 def stats_to_dict(stats: CollectiveStats) -> dict:
-    """Serialize one :class:`CollectiveStats` to plain JSON types."""
-    return {
-        "strategy": stats.strategy,
-        "op": stats.op,
-        "total_bytes": stats.total_bytes,
-        "elapsed": stats.elapsed,
-        "n_ranks": stats.n_ranks,
-        "n_aggregators": stats.n_aggregators,
-        "aggregator_ranks": list(stats.aggregator_ranks),
-        "agg_buffer_bytes": {str(k): v for k, v in stats.agg_buffer_bytes.items()},
-        "agg_overcommit_bytes": {
-            str(k): v for k, v in stats.agg_overcommit_bytes.items()
-        },
-        "paged_aggregators": stats.paged_aggregators,
-        "rounds_total": stats.rounds_total,
-        "shuffle_intra_node_bytes": stats.shuffle_intra_node_bytes,
-        "shuffle_inter_node_bytes": stats.shuffle_inter_node_bytes,
-        "shuffle_inter_group_bytes": stats.shuffle_inter_group_bytes,
-        "n_groups": stats.n_groups,
-        "extra": {
-            k: v
-            for k, v in stats.extra.items()
-            if isinstance(v, (int, float, str, bool))
-        },
-    }
+    """Serialize one :class:`CollectiveStats` to plain JSON types.
+
+    Thin alias of :meth:`CollectiveStats.to_json` — kept so existing
+    imports (and saved files referencing this module's docs) stay valid.
+    """
+    return stats.to_json()
 
 
 def stats_from_dict(d: dict) -> CollectiveStats:
     """Rebuild a :class:`CollectiveStats` from :func:`stats_to_dict` output."""
-    return CollectiveStats(
-        strategy=d["strategy"],
-        op=d["op"],
-        total_bytes=d["total_bytes"],
-        elapsed=d["elapsed"],
-        n_ranks=d["n_ranks"],
-        n_aggregators=d["n_aggregators"],
-        aggregator_ranks=tuple(d["aggregator_ranks"]),
-        agg_buffer_bytes={int(k): v for k, v in d["agg_buffer_bytes"].items()},
-        agg_overcommit_bytes={
-            int(k): v for k, v in d.get("agg_overcommit_bytes", {}).items()
-        },
-        paged_aggregators=d["paged_aggregators"],
-        rounds_total=d["rounds_total"],
-        shuffle_intra_node_bytes=d["shuffle_intra_node_bytes"],
-        shuffle_inter_node_bytes=d["shuffle_inter_node_bytes"],
-        shuffle_inter_group_bytes=d["shuffle_inter_group_bytes"],
-        n_groups=d.get("n_groups", 1),
-        extra=dict(d.get("extra", {})),
-    )
+    return CollectiveStats.from_json(d)
 
 
 def save_points(

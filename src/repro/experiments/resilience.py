@@ -177,12 +177,15 @@ def run(
     n_nodes: int = 3,
     payload_kib: int = 1024,
     horizon: float = 8.0,
+    tracer=None,
 ) -> ResilienceResult:
     """Sweep fault intensity for both strategies on a paired platform.
 
     Every (rate, strategy) cell gets a fresh platform built from the same
     seed and the same fault schedule (derived from ``(seed, rate)``), so
-    within a rate the two strategies face an identical storm.
+    within a rate the two strategies face an identical storm.  Passing a
+    :class:`~repro.obs.Tracer` records every cell onto one concatenated
+    timeline (see ``--trace-out`` on the CLI).
     """
     nbytes = payload_kib * KIB
     # 4 MB nodes with N_ah=4 give ~1 MB buffers on ~4 MB domains: four
@@ -198,7 +201,9 @@ def run(
     points: list[ChaosPoint] = []
     for rate in fault_rates:
         for strategy in ("two-phase", "mcio-static", "mcio"):
-            platform = Platform.build(spec, n_ranks, seed=seed, with_data=False)
+            platform = Platform.build(
+                spec, n_ranks, seed=seed, with_data=False, tracer=tracer
+            )
             platform.pfs.retry = retry
             schedule = chaos_schedule(
                 seed, rate, horizon, len(platform.pfs.servers), n_nodes
@@ -260,10 +265,37 @@ def run(
     return ResilienceResult(points)
 
 
-def main() -> None:
+def main(argv=None) -> None:
     """CLI entry point."""
-    result = run()
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.resilience",
+        description="Collective write under injected faults.",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="export a Chrome/Perfetto trace of the whole sweep to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(capacity=1 << 20)
+    result = run(tracer=tracer)
     print(result.render())
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(tracer, args.trace_out)
+        print(
+            f"wrote {len(tracer)} trace events to {args.trace_out} "
+            f"({tracer.dropped} dropped) — load in ui.perfetto.dev"
+        )
 
 
 if __name__ == "__main__":

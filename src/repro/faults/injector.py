@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cluster.cluster import Cluster
+from repro.obs.tracer import PID_PFS, TID_NODE
 from repro.pfs.filesystem import ParallelFileSystem
 from repro.sim import Environment, Interrupt, Process
 
@@ -83,6 +84,21 @@ class FaultInjector:
     def _notify(self, ev: FaultEvent, phase: str) -> None:
         for listener in self._listeners:
             listener(ev, phase)
+
+    def _trace(self, ev: FaultEvent, phase: str) -> None:
+        """Mark the fault on its target's own trace track."""
+        tracer = self.env.tracer
+        if not tracer.enabled:
+            return
+        if ev.kind in ("server_slowdown", "server_outage"):
+            pid, tid = PID_PFS, ev.target
+        else:
+            pid, tid = ev.target, TID_NODE
+        tracer.instant(
+            "fault", f"fault.{phase}", pid, tid,
+            kind=ev.kind, target=ev.target,
+            magnitude=ev.magnitude, duration=ev.duration,
+        )
 
     # ------------------------------------------------------------------
     def _validate_target(self, ev: FaultEvent) -> None:
@@ -155,6 +171,7 @@ class FaultInjector:
         elif ev.kind == "node_failure":
             self.cluster.nodes[ev.target].fail(ev.magnitude)
         self.applied[ev.kind] = self.applied.get(ev.kind, 0) + 1
+        self._trace(ev, "apply")
         self._notify(ev, "apply")
         if ev.duration is not None:
             self.active.append(ev)
@@ -166,6 +183,7 @@ class FaultInjector:
             )
 
     def _revert(self, ev: FaultEvent) -> None:
+        self._trace(ev, "revert")
         self._notify(ev, "revert")
         if ev.kind == "server_slowdown":
             server = self.pfs.servers[ev.target]

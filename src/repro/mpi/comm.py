@@ -228,10 +228,19 @@ class SimComm:
             raise ValueError(f"invalid dest rank {dest}")
         src_node = self.node_of_rank(ctx.rank)
         dst_node = self.node_of_rank(dest)
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         yield from self.cluster.network.transfer(
             src_node, dst_node, nbytes, paged_dst=paged_dst
         )
         self._deliver(dest, Message(ctx.rank, tag, nbytes, payload))
+        if tracer.enabled:
+            tracer.complete(
+                "comm", "comm.send",
+                self.placement[ctx.rank], ctx.rank,
+                t0, tracer.now() - t0,
+                dest=dest, bytes=nbytes, tag=tag,
+            )
 
     def isend(
         self,
@@ -274,13 +283,24 @@ class SimComm:
                 f"batched_send requires a single destination node, got {dst_nodes}"
             )
         src_node = self.node_of_rank(ctx.rank)
-        dst_node = self.cluster.nodes[dst_nodes.pop()]
+        dst_nid = dst_nodes.pop()
+        dst_node = self.cluster.nodes[dst_nid]
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         yield from self.cluster.network.batched_transfer(
             src_node, dst_node, [nbytes for _, _, nbytes, _, _ in items],
             paged_dst=paged_dst,
         )
         for source, dest, nbytes, tag, payload in items:
             self._deliver(dest, Message(source, tag, nbytes, payload))
+        if tracer.enabled:
+            tracer.complete(
+                "comm", "comm.batched_send",
+                self.placement[ctx.rank], ctx.rank,
+                t0, tracer.now() - t0,
+                dst_node=dst_nid, messages=len(items),
+                bytes=sum(nbytes for _, _, nbytes, _, _ in items),
+            )
 
     def staged_batched_send(
         self,
@@ -340,6 +360,8 @@ class SimComm:
                 by_dst.setdefault(self.node_id_of_rank(it[1]), []).append(it)
 
             def _ship(event):
+                tracer = self.env.tracer
+                t0 = tracer.now() if tracer.enabled else 0.0
                 if stage_sizes:
                     yield from self.cluster.network.batched_transfer(
                         src_node, src_node, stage_sizes
@@ -351,6 +373,16 @@ class SimComm:
                         paged_dst=state.paged_map.get(nid, paged_dst),
                     )
                 event.succeed()
+                if tracer.enabled:
+                    tracer.complete(
+                        "comm", "comm.stage.ship",
+                        self.placement[ctx.rank], ctx.rank,
+                        t0, tracer.now() - t0,
+                        messages=len(all_items),
+                        bytes=sum(it[2] for it in all_items),
+                        staged_bytes=sum(stage_sizes),
+                        dst_nodes=len(by_dst),
+                    )
 
             self.env.process(_ship(state.event), name=f"stage.{key}")
         yield state.event
@@ -364,7 +396,16 @@ class SimComm:
                 return msg
         ev = self.env.event()
         self._recv_posts[ctx.rank].append((ev, source, tag))
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         msg = yield ev
+        if tracer.enabled:
+            tracer.complete(
+                "comm", "comm.recv.wait",
+                self.placement[ctx.rank], ctx.rank,
+                t0, tracer.now() - t0,
+                source=msg.source, bytes=msg.nbytes, tag=msg.tag,
+            )
         return msg
 
     def recv_many(
@@ -401,7 +442,16 @@ class SimComm:
         # [event, source, tag, remaining, collected]: _deliver fills
         # `collected` in place and fires the event on the last message
         self._drain_posts[ctx.rank].append([ev, source, tag, count - len(got), got])
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         yield ev
+        if tracer.enabled:
+            tracer.complete(
+                "comm", "comm.recv_many.wait",
+                self.placement[ctx.rank], ctx.rank,
+                t0, tracer.now() - t0,
+                messages=count, bytes=sum(m.nbytes for m in got),
+            )
         return got
 
     def _deliver(self, dest: int, msg: Message) -> None:
@@ -474,7 +524,16 @@ class SimComm:
                 _complete(self.env, state.event, values, t),
                 name=f"coll.{op}.{grp.gid}.{seq}",
             )
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         values = yield state.event
+        if tracer.enabled:
+            tracer.complete(
+                "comm", f"coll.{op}",
+                self.placement[ctx.rank], ctx.rank,
+                t0, tracer.now() - t0,
+                group=grp.gid, size=grp.size,
+            )
         return values
 
     def barrier(self, ctx: RankContext, group: Optional[CommGroup] = None):

@@ -1,0 +1,175 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and flat JSONL.
+
+The Chrome exporter emits the `trace_event` format that both
+``chrome://tracing`` and https://ui.perfetto.dev load directly: a
+``{"traceEvents": [...]}`` object whose events carry ``ph`` (phase),
+``ts``/``dur`` in **microseconds**, and ``pid``/``tid`` track ids.  Each
+simulated compute node becomes one "process" with one "thread" per rank;
+the PFS, the simulation kernel, and the (host-side) planner become
+synthetic processes.  Metadata events (``ph="M"``) name every track so
+the viewer shows ``node0 / rank3`` instead of bare integers.
+
+The JSONL exporter dumps one event per line in simulated seconds with no
+renaming — the grep/jq-friendly form, and what the report CLI reads
+fastest.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Union
+
+from .tracer import (
+    PID_KERNEL,
+    PID_PFS,
+    PID_PLANNER,
+    TID_NODE,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "to_chrome",
+    "write_chrome",
+    "write_jsonl",
+    "process_name",
+    "thread_name",
+]
+
+#: Simulated seconds -> trace microseconds.
+US = 1_000_000.0
+
+_PROCESS_NAMES = {
+    PID_PFS: "pfs",
+    PID_KERNEL: "sim-kernel",
+    PID_PLANNER: "planner",
+}
+
+#: Viewer ordering: planner and kernel first, then nodes, PFS last.
+_PROCESS_SORT = {PID_PLANNER: -3, PID_KERNEL: -2, PID_PFS: 10_000}
+
+
+def process_name(pid: int) -> str:
+    """Human name for a trace ``pid`` track."""
+    return _PROCESS_NAMES.get(pid, f"node{pid}")
+
+
+def thread_name(pid: int, tid: int) -> str:
+    """Human name for a trace ``(pid, tid)`` track."""
+    if pid == PID_PFS:
+        return f"ost{tid}"
+    if pid in (PID_KERNEL, PID_PLANNER):
+        return "main"
+    if tid == TID_NODE:
+        return "node"
+    return f"rank{tid}"
+
+
+def _events_of(source: Union[Tracer, Iterable[TraceEvent]]):
+    if isinstance(source, Tracer):
+        return list(source.events())
+    return list(source)
+
+
+def _json_safe(value):
+    """Coerce an args value into a type that survives a JSON round trip.
+
+    Instrumentation sites pass whatever they have (message tags are
+    tuples, for instance); the exporter owns making that loadable.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_json_safe(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_chrome(source: Union[Tracer, Iterable[TraceEvent]]) -> dict:
+    """Build a Chrome/Perfetto ``trace_event`` document.
+
+    Events are sorted by ``(ts, seq)`` so every track's timestamps are
+    monotonic and B/E pairs stay correctly nested; times are converted
+    from simulated seconds to microseconds.
+    """
+    events = sorted(_events_of(source), key=lambda ev: (ev.ts, ev.seq))
+
+    tracks: dict[int, set[int]] = {}
+    for ev in events:
+        tracks.setdefault(ev.pid, set()).add(ev.tid)
+
+    out: list[dict] = []
+    # Metadata first: name each process/thread track for the viewer.
+    for pid in sorted(tracks):
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": process_name(pid)},
+            }
+        )
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_sort_index",
+                "pid": pid,
+                "tid": 0,
+                "args": {"sort_index": _PROCESS_SORT.get(pid, pid)},
+            }
+        )
+        for tid in sorted(tracks[pid]):
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_name(pid, tid)},
+                }
+            )
+
+    for ev in events:
+        d = {
+            "ph": ev.ph,
+            "cat": ev.cat or "trace",
+            "name": ev.name or "",
+            "pid": ev.pid,
+            "tid": ev.tid,
+            "ts": ev.ts * US,
+        }
+        if ev.ph == "X":
+            d["dur"] = (ev.dur or 0.0) * US
+        if ev.ph == "i":
+            d["s"] = "t"  # instant scope: thread
+        if ev.args:
+            d["args"] = {k: _json_safe(v) for k, v in ev.args.items()}
+        out.append(d)
+
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome(source: Union[Tracer, Iterable[TraceEvent]], path) -> dict:
+    """Write the Chrome trace JSON to `path`; returns the document."""
+    doc = to_chrome(source)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc
+
+
+def write_jsonl(source: Union[Tracer, Iterable[TraceEvent]], path) -> int:
+    """Write one event per line (simulated seconds); returns event count.
+
+    Lines are in ``(ts, seq)`` order and use :meth:`TraceEvent.to_dict`
+    verbatim, so the dump round-trips the tracer's native units.
+    """
+    events = sorted(_events_of(source), key=lambda ev: (ev.ts, ev.seq))
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), separators=(",", ":")))
+            fh.write("\n")
+    return len(events)

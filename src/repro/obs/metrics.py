@@ -1,0 +1,250 @@
+"""Labelled metrics: counters, gauges, histograms, and a registry.
+
+The serving-stack metrics model, sized for a simulator: a
+:class:`MetricsRegistry` owns named instruments, each instrument keeps
+one value (or histogram) per label combination, and a snapshot of the
+whole registry is a plain nested dict.  The collective-I/O
+:class:`~repro.core.metrics.StatsCollector` folds its end-of-run summary
+from one of these registries instead of keeping a parallel set of ad-hoc
+attributes, so live metrics and the final ``CollectiveStats`` can never
+disagree.
+
+Instruments are deliberately exact: counters and gauges store whatever
+numeric type they are given (the collective accounting is integral and
+the golden-trace tests compare bit-for-bit), histograms use fixed,
+caller-chosen bucket boundaries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labelnames: tuple, labels: dict) -> tuple:
+    """Validate and order one observation's labels into the store key."""
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(sorted(labels))}"
+        )
+    return tuple(labels[name] for name in labelnames)
+
+
+class _Instrument:
+    """Shared naming/labelling machinery of all instrument kinds."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        if not name:
+            raise ValueError("instrument name must be non-empty")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._store: dict[tuple, Any] = {}
+
+    def values(self) -> dict[tuple, Any]:
+        """``{label-values-tuple: value}``; key ``()`` when unlabelled."""
+        return dict(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} labels={self.labelnames}>"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value per label combination."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add `amount` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(self.labelnames, labels)
+        self._store[key] = self._store.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of the labelled series (0 if never incremented)."""
+        return self._store.get(_label_key(self.labelnames, labels), 0)
+
+    def total(self) -> float:
+        """Sum across all label combinations."""
+        return sum(self._store.values())
+
+
+class Gauge(_Instrument):
+    """Point-in-time value per label combination."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Overwrite the labelled series with `value`."""
+        self._store[_label_key(self.labelnames, labels)] = value
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """Keep the larger of the current and the offered value.
+
+        The collective accounting tracks *peak* commitments (largest
+        aggregation buffer a rank ever held), which is a max-merge, not
+        a set or an add.
+        """
+        key = _label_key(self.labelnames, labels)
+        held = self._store.get(key)
+        if held is None or value > held:
+            self._store[key] = value
+
+    def add(self, amount: float, **labels: Any) -> None:
+        """Adjust the labelled series by `amount` (either sign)."""
+        key = _label_key(self.labelnames, labels)
+        self._store[key] = self._store.get(key, 0) + amount
+
+    def value(self, default: float = 0, **labels: Any) -> float:
+        """Current value of the labelled series, or `default`."""
+        return self._store.get(_label_key(self.labelnames, labels), default)
+
+
+#: Default histogram buckets: powers of four from 256 B to 256 MiB —
+#: a decent spread for message/buffer sizes in bytes.
+DEFAULT_BUCKETS = tuple(4**k for k in range(4, 15))
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram per label combination.
+
+    `buckets` are the finite upper bounds; an implicit ``+inf`` bucket
+    catches the overflow.  Each labelled series keeps per-bucket counts
+    plus exact ``sum`` and ``count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self.buckets = bounds
+
+    def _series(self, key: tuple) -> dict:
+        s = self._store.get(key)
+        if s is None:
+            s = {"counts": [0] * (len(self.buckets) + 1), "sum": 0, "count": 0}
+            self._store[key] = s
+        return s
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labelled series."""
+        s = self._series(_label_key(self.labelnames, labels))
+        s["counts"][bisect_left(self.buckets, value)] += 1
+        s["sum"] += value
+        s["count"] += 1
+
+    def snapshot(self, **labels: Any) -> dict:
+        """``{"counts": [...], "sum": ..., "count": ...}`` for the series."""
+        s = self._store.get(_label_key(self.labelnames, labels))
+        if s is None:
+            return {"counts": [0] * (len(self.buckets) + 1), "sum": 0, "count": 0}
+        return {"counts": list(s["counts"]), "sum": s["sum"], "count": s["count"]}
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics.
+
+    Asking for an existing name returns the existing instrument —
+    provided the kind and label names agree, so two call sites cannot
+    silently split one logical metric into incompatible series.
+    """
+
+    def __init__(self):
+        self._instruments: dict[str, _Instrument] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        held = self._instruments.get(name)
+        if held is not None:
+            if type(held) is not cls or held.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered as {held.kind} "
+                    f"with labels {held.labelnames}"
+                )
+            return held
+        inst = cls(name, help=help, labelnames=labelnames, **kwargs)
+        self._instruments[name] = inst
+        return inst
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        """The named instrument, or None."""
+        return self._instruments.get(name)
+
+    def instruments(self) -> Iterable[_Instrument]:
+        """All registered instruments, in registration order."""
+        return list(self._instruments.values())
+
+    def collect(self) -> dict:
+        """Snapshot the whole registry as plain JSON-able data.
+
+        ``{name: {"kind": ..., "labelnames": [...], "series": [
+        {"labels": {...}, "value"| "counts"/"sum"/"count": ...}, ...]}}``
+        """
+        out: dict = {}
+        for inst in self._instruments.values():
+            series = []
+            for key in sorted(inst._store, key=repr):
+                labels = dict(zip(inst.labelnames, key))
+                if inst.kind == "histogram":
+                    s = inst._store[key]
+                    series.append(
+                        {
+                            "labels": labels,
+                            "counts": list(s["counts"]),
+                            "sum": s["sum"],
+                            "count": s["count"],
+                        }
+                    )
+                else:
+                    series.append({"labels": labels, "value": inst._store[key]})
+            out[inst.name] = {
+                "kind": inst.kind,
+                "labelnames": list(inst.labelnames),
+                "series": series,
+            }
+        return out

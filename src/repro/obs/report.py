@@ -1,0 +1,192 @@
+"""Per-phase breakdown of an exported trace.
+
+Usage::
+
+    python -m repro.obs.report <trace.json | trace.jsonl> [--by name|cat]
+
+Reads a Chrome/Perfetto ``trace_event`` JSON document (as written by
+:func:`repro.obs.export.write_chrome`) or a flat JSONL dump (as written
+by :func:`~repro.obs.export.write_jsonl`) and prints one row per phase:
+total simulated time inside the phase's spans, span/instant counts, and
+total bytes (summed from ``bytes`` / ``nbytes`` entries in event args).
+
+Span time is the *sum over events on all tracks* — 8 ranks shuffling for
+2 s each report 16 rank-seconds, which is the quantity that tells you
+where the machine's time went (the same convention as a profiler's
+"total" column).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable
+
+__all__ = ["load_events", "phase_table", "format_table", "main"]
+
+_US = 1_000_000.0
+_BYTE_KEYS = ("bytes", "nbytes", "payload_bytes")
+
+
+def load_events(path: str) -> list[dict]:
+    """Load trace events from Chrome JSON or JSONL into simulated seconds.
+
+    Metadata (``ph="M"``) events are discarded; every returned dict has
+    at least ``ph``/``name``/``cat``/``pid``/``tid``/``ts`` with ``ts``
+    (and ``dur`` where present) in seconds.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None  # not one document: a JSONL dump (or a single event)
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        raw = doc["traceEvents"]
+        scale = 1.0 / _US  # chrome traces are in microseconds
+    else:
+        raw = [json.loads(line) for line in text.splitlines() if line.strip()]
+        scale = 1.0  # jsonl dumps are already in seconds
+
+    out = []
+    for ev in raw:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ev = dict(ev)
+        ev.setdefault("cat", "")
+        ev.setdefault("name", "")
+        ev["ts"] = float(ev.get("ts", 0.0)) * scale
+        if "dur" in ev:
+            ev["dur"] = float(ev["dur"]) * scale
+        out.append(ev)
+    return out
+
+
+def _event_bytes(ev: dict) -> int:
+    args = ev.get("args") or {}
+    for key in _BYTE_KEYS:
+        v = args.get(key)
+        if isinstance(v, (int, float)):
+            return int(v)
+    return 0
+
+
+def phase_table(events: Iterable[dict], by: str = "name") -> list[dict]:
+    """Aggregate events into per-phase rows.
+
+    `by` selects the grouping key: ``"name"`` (default, one row per span
+    name such as ``mcio.shuffle.round``) or ``"cat"`` (coarser, one row
+    per category such as ``shuffle``).  B/E pairs are matched per
+    ``(pid, tid)`` track with a stack; unbalanced begins contribute a
+    count but no time.  Rows come back sorted by total time, descending.
+    """
+    if by not in ("name", "cat"):
+        raise ValueError(f"unknown grouping {by!r}")
+
+    rows: dict[str, dict] = {}
+
+    def row(key: str) -> dict:
+        r = rows.get(key)
+        if r is None:
+            r = {"phase": key, "time": 0.0, "spans": 0, "instants": 0, "bytes": 0}
+            rows[key] = r
+        return r
+
+    # Match B/E per track; everything else aggregates directly.
+    open_stacks: dict[tuple, list] = {}
+    for ev in sorted(events, key=lambda e: (e["ts"], e.get("seq", 0))):
+        ph = ev.get("ph")
+        key = ev.get(by) or ev.get("name") or "?"
+        if ph == "X":
+            r = row(key)
+            r["time"] += float(ev.get("dur", 0.0))
+            r["spans"] += 1
+            r["bytes"] += _event_bytes(ev)
+        elif ph == "i":
+            r = row(key)
+            r["instants"] += 1
+            r["bytes"] += _event_bytes(ev)
+        elif ph == "B":
+            track = (ev.get("pid"), ev.get("tid"))
+            open_stacks.setdefault(track, []).append((key, ev["ts"], _event_bytes(ev)))
+            row(key)["spans"] += 1
+        elif ph == "E":
+            track = (ev.get("pid"), ev.get("tid"))
+            stack = open_stacks.get(track)
+            if stack:
+                bkey, bts, bbytes = stack.pop()
+                r = row(bkey)
+                r["time"] += max(0.0, ev["ts"] - bts)
+                r["bytes"] += bbytes + _event_bytes(ev)
+
+    return sorted(rows.values(), key=lambda r: (-r["time"], r["phase"]))
+
+
+def _fmt_bytes(n: int) -> str:
+    if n <= 0:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render phase rows as an aligned text table."""
+    headers = ("phase", "time (s)", "spans", "instants", "bytes")
+    cells = [headers]
+    total_time = sum(r["time"] for r in rows)
+    for r in rows:
+        cells.append(
+            (
+                r["phase"],
+                f"{r['time']:.6f}",
+                str(r["spans"]) if r["spans"] else "-",
+                str(r["instants"]) if r["instants"] else "-",
+                _fmt_bytes(r["bytes"]),
+            )
+        )
+    cells.append(("total", f"{total_time:.6f}", "", "", ""))
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def line(row, pad=" "):
+        return "  ".join(
+            row[i].ljust(widths[i]) if i == 0 else row[i].rjust(widths[i])
+            for i in range(len(headers))
+        ).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(cells[0]), sep]
+    out.extend(line(row) for row in cells[1:-1])
+    out.append(sep)
+    out.append(line(cells[-1]))
+    return "\n".join(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Print a per-phase time/bytes breakdown of a trace.",
+    )
+    parser.add_argument("trace", help="Chrome trace JSON or JSONL event dump")
+    parser.add_argument(
+        "--by",
+        choices=("name", "cat"),
+        default="name",
+        help="group rows by span name (default) or by category",
+    )
+    args = parser.parse_args(argv)
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no events", file=sys.stderr)
+        return 1
+    print(format_table(phase_table(events, by=args.by)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

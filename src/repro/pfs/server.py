@@ -24,6 +24,7 @@ server carries two injectable states:
 
 from __future__ import annotations
 
+from repro.obs.tracer import PID_PFS
 from repro.sim import Environment, Resource
 
 __all__ = ["IOServer", "ServerUnavailableError"]
@@ -135,15 +136,35 @@ class IOServer:
         if not self.available:
             self.outage_rejections += 1
             raise ServerUnavailableError(self.server_id)
+        tracer = self.env.tracer
+        t0 = tracer.now() if tracer.enabled else 0.0
         req = self.queue.request()
         try:
             yield req
+            if tracer.enabled:
+                t1 = tracer.now()
+                if t1 > t0:
+                    tracer.complete(
+                        "pfs", "pfs.queue_wait", PID_PFS, self.server_id,
+                        t0, t1 - t0,
+                    )
             if not self.available:
                 self.outage_rejections += 1
                 raise ServerUnavailableError(self.server_id)
             t = self.service_time(nbytes, requests, write=write)
+            # capture the service start: the degradation factor can change
+            # mid-sleep (fault windows), so the span duration must be the
+            # observed elapsed time, not recomputed from the end state
+            t2 = tracer.now() if tracer.enabled else 0.0
             yield self.env.sleep(t * self.degradation)
             self.bytes_served += nbytes
             self.requests_served += requests
+            if tracer.enabled:
+                tracer.complete(
+                    "pfs", "pfs.serve", PID_PFS, self.server_id,
+                    t2, tracer.now() - t2,
+                    bytes=nbytes, requests=requests,
+                    write=write, degradation=self.degradation,
+                )
         finally:
             self.queue.release(req)

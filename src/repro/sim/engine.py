@@ -34,7 +34,10 @@ from __future__ import annotations
 import heapq
 
 from heapq import heappop as _heappop, heappush as _heappush
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.obs.tracer import NULL_TRACER, PID_KERNEL
 
 __all__ = [
     "Environment",
@@ -496,6 +499,10 @@ class Environment:
         self._crashed: list[tuple[Process, BaseException]] = []
         #: Free list of processed :class:`_PooledTimeout` objects.
         self._sleep_pool: list[_PooledTimeout] = []
+        #: Observability hook; the shared disabled tracer by default, so
+        #: instrumentation sites pay one attribute read and one branch.
+        #: Enable with ``Tracer().install(env)`` (see :mod:`repro.obs`).
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:
@@ -591,6 +598,11 @@ class Environment:
                     cb(event)
         if self._crashed:
             proc, exc = self._crashed[0]
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "kernel", "process.crash", PID_KERNEL, 0,
+                    process=proc.name, error=repr(exc),
+                )
             raise SimulationError(
                 f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
             ) from exc
@@ -608,6 +620,31 @@ class Environment:
             an :class:`Event`
                 run until that event has been processed and return its value.
         """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._run(until)
+        # Kernel span: sim-time bounds, with the kernel's own wall-clock
+        # cost and the number of events dispatched attached as args (the
+        # event count rides the existing _seq counter, so the hot loops
+        # below carry no per-event tracing cost).
+        t0 = tracer.now()
+        seq0 = self._seq
+        wall0 = perf_counter()
+        try:
+            return self._run(until)
+        finally:
+            tracer.complete(
+                "kernel",
+                "sim.run",
+                PID_KERNEL,
+                0,
+                t0,
+                tracer.now() - t0,
+                wall_s=perf_counter() - wall0,
+                events=self._seq - seq0,
+            )
+
+    def _run(self, until: Optional[float | Event] = None) -> Any:
         stop_event: Optional[Event] = None
         stop_time: Optional[float] = None
         if isinstance(until, Event):
@@ -665,6 +702,12 @@ class Environment:
                                 cb(event)
                 if crashed:
                     proc, exc = crashed[0]
+                    tracer = self.tracer
+                    if tracer.enabled:
+                        tracer.instant(
+                            "kernel", "process.crash", PID_KERNEL, 0,
+                            process=proc.name, error=repr(exc),
+                        )
                     raise SimulationError(
                         f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
                     ) from exc
@@ -707,6 +750,12 @@ class Environment:
                             cb(event)
             if crashed:
                 proc, exc = crashed[0]
+                tracer = self.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "kernel", "process.crash", PID_KERNEL, 0,
+                        process=proc.name, error=repr(exc),
+                    )
                 raise SimulationError(
                     f"process {proc.name!r} crashed at t={self._now}: {exc!r}"
                 ) from exc

@@ -218,8 +218,14 @@ def run_case(
     op: str,
     case: ClusterCase,
     mcio_overrides: Optional[dict] = None,
+    tracer=None,
 ) -> dict:
-    """Execute one matrix cell and return its full golden record."""
+    """Execute one matrix cell and return its full golden record.
+
+    Passing a :class:`repro.obs.Tracer` installs it on the case's
+    environment before the run — the no-perturbation suite uses this to
+    show traced runs reproduce the recorded goldens bit-for-bit.
+    """
     patterns = build_patterns(case)
     stack = make_stack(
         n_ranks=case.n_ranks,
@@ -227,6 +233,8 @@ def run_case(
         cores=case.cores,
         stripe_size=case.stripe_size,
     )
+    if tracer is not None:
+        tracer.install(stack.env)
     if case.memory_availability is not None:
         stack.cluster.set_memory_availability(case.memory_availability)
     engine = make_engine(strategy, stack, case, mcio_overrides=mcio_overrides)

@@ -1,0 +1,162 @@
+"""MetricsRegistry unit tests and the StatsCollector view contract."""
+
+import pytest
+
+from repro.core.metrics import StatsCollector
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        c = Counter("reqs", labelnames=("kind",))
+        c.inc(2, kind="read")
+        c.inc(3, kind="read")
+        c.inc(5, kind="write")
+        assert c.value(kind="read") == 5
+        assert c.value(kind="write") == 5
+        assert c.total() == 10
+
+    def test_counter_rejects_negative(self):
+        c = Counter("reqs")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_integer_exactness(self):
+        """Integral increments stay exact ints (golden comparisons)."""
+        c = Counter("b")
+        c.inc(2**60)
+        c.inc(1)
+        assert c.value() == 2**60 + 1
+        assert isinstance(c.value(), int)
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("reqs", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            c.inc(1)
+        with pytest.raises(ValueError):
+            c.inc(1, kind="read", extra="x")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.add(-1)
+        assert g.value() == 3
+
+    def test_set_max_merges_peaks(self):
+        g = Gauge("peak", labelnames=("rank",))
+        g.set_max(100, rank=1)
+        g.set_max(50, rank=1)
+        g.set_max(200, rank=1)
+        assert g.value(rank=1) == 200
+
+    def test_default(self):
+        g = Gauge("x")
+        assert g.value(default=7) == 7
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("sz", buckets=(10, 100))
+        for v in (1, 10, 11, 100, 101, 5000):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [2, 2, 2]  # <=10, <=100, +inf
+        assert snap["count"] == 6
+        assert snap["sum"] == 1 + 10 + 11 + 100 + 101 + 5000
+
+    def test_empty_snapshot(self):
+        h = Histogram("sz", buckets=(1,))
+        assert h.snapshot() == {"counts": [0, 0], "sum": 0, "count": 0}
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("sz", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("sz", buckets=(1, 1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("reqs", labelnames=("kind",))
+        b = reg.counter("reqs", labelnames=("kind",))
+        assert a is b
+        assert len(reg) == 1
+        assert "reqs" in reg
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x", labelnames=("b",))
+
+    def test_collect_shape(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("reqs", "requests", labelnames=("kind",)).inc(3, kind="r")
+        reg.gauge("depth").set(2)
+        reg.histogram("sz", buckets=(10,)).observe(4)
+        doc = reg.collect()
+        json.dumps(doc)  # plain JSON types throughout
+        assert doc["reqs"]["kind"] == "counter"
+        assert doc["reqs"]["series"] == [{"labels": {"kind": "r"}, "value": 3}]
+        assert doc["depth"]["series"][0]["value"] == 2
+        assert doc["sz"]["series"][0]["counts"] == [1, 0]
+
+
+class TestStatsCollectorView:
+    """The collector's legacy attributes are views over its registry."""
+
+    def test_views_match_registry(self):
+        c = StatsCollector("mcio", "write", n_ranks=4)
+        c.record_bytes(1000)
+        c.record_bytes(24)
+        c.record_shuffle(500, same_node=True)
+        c.record_shuffle(300, same_node=False)
+        c.record_shuffle(200, same_node=False, same_group=False)
+        c.record_rounds(3)
+        c.record_failover()
+        c.record_aggregator(2, 4096, paged=True, overcommit_bytes=128)
+        c.record_aggregator(2, 1024, paged=False)
+
+        assert c.total_bytes == 1024
+        assert c.shuffle_intra_node_bytes == 500
+        assert c.shuffle_inter_node_bytes == 500
+        assert c.shuffle_inter_group_bytes == 200
+        assert c.rounds_total == 3
+        assert c.failovers == 1
+        assert c.agg_buffer_bytes == {2: 4096}  # peak, not last
+        assert c.agg_overcommit_bytes == {2: 128}
+        assert c.paged_aggregators == {2}
+
+        reg = c.registry
+        assert reg.counter("io_bytes_total").value() == 1024
+        assert reg.get("shuffle_message_bytes").snapshot(path="intra_node")[
+            "count"
+        ] == 1
+
+    def test_finalize_folds_from_registry(self):
+        c = StatsCollector("mcio", "write", n_ranks=4)
+        c.mark_start(0.0)
+        c.mark_end(1.0)
+        c.record_bytes(77)
+        c.record_aggregator(1, 10, paged=False)
+        stats = c.finalize()
+        assert stats.total_bytes == 77
+        assert stats.aggregator_ranks == (1,)
+        assert stats.agg_buffer_bytes == {1: 10}
+
+    def test_injected_registry_is_used(self):
+        reg = MetricsRegistry()
+        c = StatsCollector("mcio", "write", n_ranks=2, registry=reg)
+        c.record_bytes(5)
+        assert reg.counter("io_bytes_total").value() == 5

@@ -1,0 +1,68 @@
+"""Tracing must not perturb the simulation: traced runs hit the goldens.
+
+Every cell of the golden workload matrix is re-run with an enabled
+:class:`~repro.obs.Tracer` installed on its environment and compared —
+stats field-by-field, final simulated clock via ``float.hex``, PFS
+datastore digest — against the fixtures recorded with tracing off.  Any
+instrumentation that schedules events, advances the clock, or changes
+planner decisions when enabled fails here bit-for-bit.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Tracer
+
+from tests.goldens.cases import CLUSTER_CASES, OPS, STRATEGIES, case_id, run_case
+
+GOLDEN_PATH = Path(__file__).parents[1] / "goldens" / "goldens.json"
+
+with GOLDEN_PATH.open() as fh:
+    GOLDENS = json.load(fh)
+
+CELLS = [
+    (strategy, op, case)
+    for case in CLUSTER_CASES
+    for strategy in STRATEGIES
+    for op in OPS
+]
+
+
+@pytest.mark.parametrize(
+    "strategy,op,case",
+    CELLS,
+    ids=[case_id(s, o, c) + "/traced" for s, o, c in CELLS],
+)
+def test_traced_run_matches_golden(strategy, op, case):
+    tracer = Tracer()
+    actual = run_case(strategy, op, case, tracer=tracer)
+    expected = GOLDENS[case_id(strategy, op, case)]
+
+    for field, want in expected["stats"].items():
+        got = actual["stats"][field]
+        assert got == want, (
+            f"stats.{field} diverged under tracing: got {got!r}, "
+            f"golden {want!r}"
+        )
+    assert actual["final_now_hex"] == expected["final_now_hex"], (
+        "simulated clock perturbed by tracing"
+    )
+    assert actual["datastore_sha256"] == expected["datastore_sha256"]
+    assert actual.get("rank_payload_sha256") == expected.get(
+        "rank_payload_sha256"
+    )
+    # and the tracer actually observed the run
+    assert len(tracer) > 0
+
+
+def test_tiny_ring_does_not_perturb_either():
+    """Overflowing the ring (drop-oldest path) is also side-effect free."""
+    strategy, op, case = "mcio", "write", CLUSTER_CASES[0]
+    tracer = Tracer(capacity=8)
+    actual = run_case(strategy, op, case, tracer=tracer)
+    expected = GOLDENS[case_id(strategy, op, case)]
+    assert actual["final_now_hex"] == expected["final_now_hex"]
+    assert tracer.dropped > 0
+    assert len(tracer) == 8

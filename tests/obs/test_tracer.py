@@ -1,0 +1,132 @@
+"""Tracer unit tests: ring-buffer bounds, span recording, install rules."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, PID_KERNEL, TraceEvent, Tracer
+from repro.sim import Environment
+
+
+class TestRecording:
+    def test_events_stamped_in_sim_time(self):
+        env = Environment()
+        tracer = Tracer().install(env)
+        env.process(_sleeper(env, tracer))
+        env.run()
+        events = [ev for ev in tracer.events() if ev.cat == "t"]
+        assert [ev.name for ev in events] == ["before", "after"]
+        assert events[0].ts == 0.0
+        assert events[1].ts == 2.5
+        # the kernel traced its own run() span around them
+        assert any(ev.name == "sim.run" for ev in tracer.events())
+
+    def test_install_offset_shifts_timeline(self):
+        env = Environment()
+        tracer = Tracer().install(env, offset=100.0)
+        tracer.instant("t", "mark", 0, 0)
+        (ev,) = tracer.events()
+        assert ev.ts == 100.0
+        assert tracer.now() == 100.0
+
+    def test_complete_and_instant_shapes(self):
+        tracer = Tracer().install(Environment())
+        tracer.complete("cat", "work", 3, 1, 1.0, 0.5, bytes=64)
+        tracer.instant("cat", "mark", 3, 1)
+        x, i = tracer.events()
+        assert (x.ph, x.dur, x.args) == ("X", 0.5, {"bytes": 64})
+        assert (i.ph, i.dur) == ("i", None)
+        assert x.to_dict()["dur"] == 0.5
+        assert "dur" not in i.to_dict()
+        assert "args" not in i.to_dict()
+
+    def test_begin_end_sequence(self):
+        tracer = Tracer().install(Environment())
+        tracer.begin("c", "outer", 0, 0)
+        tracer.begin("c", "inner", 0, 0)
+        tracer.end(0, 0)
+        tracer.end(0, 0)
+        phs = [ev.ph for ev in tracer.events()]
+        assert phs == ["B", "B", "E", "E"]
+        seqs = [ev.seq for ev in tracer.events()]
+        assert seqs == sorted(seqs)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.begin("c", "x", 0, 0)
+        tracer.complete("c", "x", 0, 0, 0.0, 1.0)
+        tracer.instant("c", "x", 0, 0)
+        tracer.end(0, 0)
+        assert len(tracer) == 0
+
+    def test_max_ts_spans_and_instants(self):
+        tracer = Tracer().install(Environment())
+        tracer.complete("c", "x", 0, 0, 1.0, 2.0)
+        tracer.instant("c", "y", 0, 0)
+        assert tracer.max_ts() == 3.0
+
+
+class TestRingBuffer:
+    def test_drop_oldest_keeps_newest(self):
+        tracer = Tracer(capacity=4).install(Environment())
+        for k in range(10):
+            tracer.instant("t", f"ev{k}", 0, 0)
+        kept = [ev.name for ev in tracer.events()]
+        assert kept == ["ev6", "ev7", "ev8", "ev9"]
+        assert tracer.dropped == 6
+        assert len(tracer) == 4
+
+    @pytest.mark.parametrize("capacity", [1, 2, 3, 7, 64])
+    @pytest.mark.parametrize("n", [0, 1, 5, 100])
+    def test_drop_oldest_property(self, capacity, n):
+        """For any fill count, the ring holds exactly the newest events
+        in order, and the drop counter accounts for the rest."""
+        tracer = Tracer(capacity=capacity).install(Environment())
+        for k in range(n):
+            tracer.instant("t", str(k), 0, 0)
+        kept = [int(ev.name) for ev in tracer.events()]
+        expect = list(range(max(0, n - capacity), n))
+        assert kept == expect
+        assert len(tracer) == min(n, capacity)
+        assert tracer.dropped == max(0, n - capacity)
+        # seq stays strictly increasing across wraps
+        seqs = [ev.seq for ev in tracer.events()]
+        assert seqs == sorted(set(seqs))
+
+    def test_clear_keeps_drop_counter(self):
+        tracer = Tracer(capacity=2).install(Environment())
+        for _ in range(5):
+            tracer.instant("t", "x", 0, 0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 3
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestNullTracer:
+    def test_environment_defaults_to_null_tracer(self):
+        env = Environment()
+        assert env.tracer is NULL_TRACER
+        assert env.tracer.enabled is False
+
+    def test_null_tracer_refuses_install(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.install(Environment())
+
+    def test_install_replaces_env_tracer(self):
+        env = Environment()
+        tracer = Tracer()
+        assert tracer.install(env) is tracer
+        assert env.tracer is tracer
+
+
+def _sleeper(env, tracer):
+    tracer.instant("t", "before", PID_KERNEL, 0)
+    yield env.timeout(2.5)
+    tracer.instant("t", "after", PID_KERNEL, 0)
+
+
+def test_trace_event_repr_smoke():
+    ev = TraceEvent("X", "c", "n", 0, 0, 0.0, 1.0, None, 1)
+    assert "TraceEvent" in repr(ev)
