@@ -6,12 +6,12 @@ that per PR bloats the repo for four numbers per benchmark, so the CI
 pipeline keeps the full file as a build artifact only and commits a
 compact form::
 
-    python benchmarks/compact_bench.py compact BENCH_FULL.json -o BENCH_3.json
+    python benchmarks/compact_bench.py compact BENCH_FULL.json -o BENCH_6.json
 
 which keeps just ``{name, median, stddev, rounds}`` per benchmark, plus
 the source's datetime for provenance.  The companion subcommand::
 
-    python benchmarks/compact_bench.py compare BENCH_2.json BENCH_3.json --markdown
+    python benchmarks/compact_bench.py compare BENCH_3.json BENCH_6.json --markdown
 
 prints a median-vs-median table (optionally GitHub-flavoured markdown
 for ``$GITHUB_STEP_SUMMARY``) and flags regressions beyond a threshold.

@@ -7,7 +7,7 @@ node-level memory/bandwidth models, and the interconnect.
 
 from .background import BackgroundLoad
 from .cluster import Cluster
-from .memory import Allocation, MemoryModel, availability_bucket
+from .memory import Allocation, Lease, LeaseLedger, MemoryModel, availability_bucket
 from .network import Network
 from .node import Node
 from .placement import (
@@ -39,6 +39,8 @@ __all__ = [
     "ClusterSpec",
     "GIB",
     "KIB",
+    "Lease",
+    "LeaseLedger",
     "MIB",
     "MemoryModel",
     "Network",

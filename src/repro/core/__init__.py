@@ -15,6 +15,8 @@ Public surface:
 """
 
 from .aggregator_selection import PlacementError, candidate_hosts, place_aggregators
+from .audit import AuditRecord, ConservationAuditor, ConservationError
+from .borrow import BorrowDegraded, BorrowSession
 from .config import MCIOConfig, TwoPhaseConfig
 from .engine import ExecutionPlan, execute_collective
 from .failover import FailoverDecision, replace_failed_domains
@@ -31,7 +33,12 @@ from .two_phase import TwoPhaseCollectiveIO, default_aggregators
 __all__ = [
     "AccessPattern",
     "AggregationGroup",
+    "AuditRecord",
+    "BorrowDegraded",
+    "BorrowSession",
     "CollectiveStats",
+    "ConservationAuditor",
+    "ConservationError",
     "DataSievingIO",
     "ExecutionPlan",
     "Extent",

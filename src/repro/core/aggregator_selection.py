@@ -21,6 +21,13 @@ leaf, so the loop terminates after at most the initial leaf count passes.
 If even a single merged domain cannot be satisfied, the placer either
 falls back to the best available host (allocation marked *paged*) or
 raises, per ``allow_paged_fallback``.
+
+``placement_policy`` widens step 4: under ``"borrow"``/``"hybrid"`` a
+leaf that would remerge may instead keep its aggregator on the best
+candidate host while *leasing* the aggregation buffer from the
+memory-richest other node (any node, candidate or not — lending does
+not consume an ``N_ah`` slot).  The domain is tagged with
+``lender_node``; the actual lease is acquired at execution time.
 """
 
 from __future__ import annotations
@@ -186,6 +193,38 @@ def _buffer_for(domain: Extent, state: "_HostState", config: MCIOConfig) -> int:
     return max(1, min(domain.length, max(nominal, generous), state.remaining))
 
 
+def _find_lender(
+    domain: Extent,
+    open_hosts: Mapping[int, Sequence[int]],
+    hosts: Mapping[int, "_HostState"],
+    nominal: int,
+    requirement: int,
+    config: MCIOConfig,
+):
+    """Borrow placement for a leaf none of whose hosts can buffer it.
+
+    The aggregator runs on the open candidate host with the most
+    remaining memory (it still does the CPU work and the PFS I/O); the
+    nominal buffer is reserved on the memory-richest *other* node that
+    can cover ``requirement + lend_headroom``.  Returns
+    ``(agg_host, lender_node, buffer)`` or None when no lender
+    qualifies; the lender reservation is recorded in `hosts`.
+    """
+    agg_host = max(open_hosts, key=lambda node: (hosts[node].remaining, -node))
+    need = requirement + config.lend_headroom
+    lenders = [
+        node
+        for node, state in hosts.items()
+        if node != agg_host and state.remaining >= need
+    ]
+    if not lenders:
+        return None
+    lender = max(lenders, key=lambda node: (hosts[node].remaining, -node))
+    buffer = nominal
+    hosts[lender].reserved += buffer
+    return agg_host, lender, buffer
+
+
 def _try_assign(
     tree: PartitionTree,
     group_id: int,
@@ -243,6 +282,7 @@ def _try_assign(
         }
 
         paged = False
+        lender_node = None
         if satisfied:
             # every satisfied host has enough memory, so pick the one
             # owning the most of the domain's data — keeping the shuffle
@@ -276,15 +316,31 @@ def _try_assign(
                 for node, members in open_hosts.items()
                 if hosts[node].remaining >= adaptive_floor
             }
+            borrowed = None
+            if (
+                not (config.adaptive_buffer and adaptive)
+                and config.placement_policy != "remerge"
+                and open_hosts
+            ):
+                borrowed = _find_lender(
+                    domain, open_hosts, hosts, nominal, requirement, config
+                )
             if config.adaptive_buffer and adaptive:
                 pool = adaptive
                 best = max(pool, key=lambda node: (hosts[node].remaining, -node))
                 # shrink the buffer to what the host has: with a swap-like
                 # paging penalty, extra rounds are cheaper than thrash
                 buffer = max(1, min(domain.length, int(hosts[best].remaining)))
-            elif tree.n_leaves > 1:
+            elif borrowed is not None:
+                # lease the buffer remotely instead of shrinking the
+                # domain's parallelism away
+                best, lender_node, buffer = borrowed
+                pool = open_hosts
+            elif config.placement_policy != "borrow" and tree.n_leaves > 1:
                 # "Otherwise ... the file domain will be integrated with
                 # the domain nearby" — remerge expands the search area
+                # (pure-borrow mode refuses to shrink parallelism and
+                # degrades to the paged/error path instead)
                 tree.remerge(leaf)
                 return None
             elif config.allow_paged_fallback:
@@ -320,7 +376,9 @@ def _try_assign(
         members = pool[best]
         agg_rank = members[state.aggregators % len(members)]
         state.aggregators += 1
-        state.reserved += buffer
+        if lender_node is None:
+            state.reserved += buffer
+        # (borrowed buffers were reserved on the lender in _find_lender)
         domains.append(
             FileDomain(
                 extent=domain,
@@ -328,6 +386,7 @@ def _try_assign(
                 buffer_bytes=buffer,
                 paged=paged,
                 group_id=group_id,
+                lender_node=lender_node,
             )
         )
     return domains, hosts

@@ -34,9 +34,10 @@ from typing import Literal, Optional
 
 from repro.cluster.spec import MIB
 
-__all__ = ["TwoPhaseConfig", "MCIOConfig", "ShuffleGranularity"]
+__all__ = ["TwoPhaseConfig", "MCIOConfig", "PlacementPolicy", "ShuffleGranularity"]
 
 ShuffleGranularity = Literal["round", "batched", "domain"]
+PlacementPolicy = Literal["remerge", "borrow", "hybrid"]
 
 
 def _check_common(cb_buffer_size: int, shuffle_granularity: str) -> None:
@@ -165,6 +166,32 @@ class MCIOConfig:
         granularity; falls back to the exact per-message path whenever
         fault machinery is engaged (same rule as ``"batched"``), which
         includes ``failover=True``.
+    placement_policy:
+        What to do when a leaf's candidate hosts cannot supply the
+        nominal buffer (the point where the paper remerges):
+
+        * ``"remerge"`` — the paper's behaviour, fold the leaf back into
+          its sibling (default; bit-identical to the pre-borrow engine);
+        * ``"borrow"`` — lease aggregation-buffer capacity on a
+          memory-rich remote node instead (DOLMA-style remote memory);
+          buffer staging then crosses the fabric at α–β cost.  If no
+          lender qualifies the leaf is *not* remerged — it degrades to
+          the paged/error path;
+        * ``"hybrid"`` — try to borrow first, remerge when no lender
+          qualifies.
+    lease_term:
+        Sim-seconds a granted lease stays valid before it must be
+        renewed; the borrower renews at every round boundary once less
+        than half the term remains.
+    lease_retry_limit:
+        Grant attempts beyond the first before the borrower gives up
+        and the collective degrades (acquisition under contention).
+    lease_backoff_base / lease_backoff_cap:
+        Exponential backoff between grant retries:
+        ``min(cap, base * 2**attempt)`` sim-seconds.
+    lend_headroom:
+        Bytes of uncommitted memory a lender must retain *beyond* the
+        leased amount, protecting the lender's own workload.
     """
 
     msg_group: int = 256 * MIB
@@ -182,6 +209,12 @@ class MCIOConfig:
     fallback_chain: bool = True
     plan_cache: bool = False
     intra_node_aggregation: bool = False
+    placement_policy: PlacementPolicy = "remerge"
+    lease_term: float = 1.0
+    lease_retry_limit: int = 4
+    lease_backoff_base: float = 1e-4
+    lease_backoff_cap: float = 5e-3
+    lend_headroom: int = 0
 
     def __post_init__(self) -> None:
         _check_common(self.cb_buffer_size, self.shuffle_granularity)
@@ -197,3 +230,15 @@ class MCIOConfig:
             raise ValueError("nah must be >= 1")
         if self.min_buffer < 1:
             raise ValueError("min_buffer must be >= 1")
+        if self.placement_policy not in ("remerge", "borrow", "hybrid"):
+            raise ValueError(f"bad placement_policy {self.placement_policy!r}")
+        if self.lease_term <= 0:
+            raise ValueError("lease_term must be > 0")
+        if self.lease_retry_limit < 0:
+            raise ValueError("lease_retry_limit must be >= 0")
+        if self.lease_backoff_base <= 0 or self.lease_backoff_cap <= 0:
+            raise ValueError("lease backoff parameters must be > 0")
+        if self.lease_backoff_cap < self.lease_backoff_base:
+            raise ValueError("lease_backoff_cap must be >= lease_backoff_base")
+        if self.lend_headroom < 0:
+            raise ValueError("lend_headroom must be >= 0")

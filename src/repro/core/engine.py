@@ -37,6 +37,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.borrow import (
+    acquire_leases,
+    borrow_round_check,
+    check_acquisition,
+    release_leases,
+)
 from repro.core.failover import replace_failed_domains
 from repro.core.filedomain import FileDomain, rounds_for
 from repro.core.metrics import StatsCollector
@@ -240,7 +246,7 @@ class _RunContext:
     __slots__ = (
         "ctx", "comm", "pfs", "plan", "patterns", "stats", "op", "op_seq",
         "payload", "node", "domains", "allocs", "paged_flags",
-        "failover_config",
+        "failover_config", "borrow",
     )
 
     def __init__(self, ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload):
@@ -261,6 +267,8 @@ class _RunContext:
         self.allocs: dict[int, object] = {}
         self.paged_flags: dict[int, bool] = {}
         self.failover_config = None
+        #: Active :class:`~repro.core.borrow.BorrowSession`, or None.
+        self.borrow = None
 
 
 def execute_collective(
@@ -276,6 +284,7 @@ def execute_collective(
     granularity: str = "round",
     failover_config=None,
     intra_node_aggregation: bool = False,
+    borrow=None,
 ):
     """Process generator: one rank's role in a planned collective op.
 
@@ -318,6 +327,14 @@ def execute_collective(
         the window).  Ignored at ``"domain"`` granularity and whenever
         fault machinery is engaged (same fallback rule as
         ``"batched"``).
+    borrow:
+        A :class:`~repro.core.borrow.BorrowSession` when the plan
+        contains lender-backed domains, else None.  Forces ``"round"``
+        granularity (the lease protocol needs round boundaries) and
+        disables intra-node aggregation.  Lease acquisition runs before
+        round 0; an acquisition failure or a mid-run unsound lease
+        raises :class:`~repro.core.borrow.BorrowDegraded` on every rank
+        after local teardown — the caller re-plans without borrowing.
 
     Returns
     -------
@@ -337,9 +354,16 @@ def execute_collective(
     intra_node = (
         intra_node_aggregation and granularity != "domain" and not faulty
     )
+    if borrow is not None:
+        # lease checks live at lockstep round boundaries, and a borrowed
+        # buffer needs the per-message control points
+        granularity = "round"
+        intra_node = False
     env = ctx.env
     stats.mark_start(env.now)
+    stats.record_attempt()
     run = _RunContext(ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload)
+    run.borrow = borrow
     if granularity == "round" and not intra_node:
         run.failover_config = failover_config
 
@@ -355,12 +379,25 @@ def execute_collective(
         for did, domain in enumerate(run.domains):
             if domain.aggregator_rank != ctx.rank:
                 continue
+            if borrow is not None and domain.lender_node is not None:
+                # the buffer lives on the lender once the lease lands
+                # (recorded at grant time); only the round count is known now
+                run.paged_flags[did] = False
+                stats.record_rounds(
+                    rounds_for(domain.extent.length, domain.buffer_bytes)
+                )
+                continue
             _alloc_aggregator_buffer(run, did, domain)
             stats.record_rounds(
                 rounds_for(domain.extent.length, domain.buffer_bytes)
             )
 
         try:
+            if borrow is not None:
+                yield from acquire_leases(run, borrow)
+                # make grant outcomes common knowledge before round 0
+                yield from comm.barrier(ctx)
+                check_acquisition(run, borrow)
             if intra_node:
                 yield from _run_intra_node(run)
             elif granularity == "round":
@@ -369,6 +406,8 @@ def execute_collective(
                 yield from _run_batched(run)
             else:
                 yield from _run_streaming(run)
+            if borrow is not None:
+                release_leases(run, borrow)
         finally:
             for alloc in run.allocs.values():
                 ctx.node.memory.free(alloc)
@@ -408,6 +447,11 @@ def _run_lockstep(run: _RunContext):
         if tracer.enabled:
             tracer.begin("shuffle", "shuffle.round", pid, ctx.rank, round=t)
         try:
+            if run.borrow is not None:
+                # lease health first: a borrowed domain cannot be failed
+                # over (its buffer is remote), so borrow aborts preempt
+                # the failover machinery for those domains
+                borrow_round_check(run, run.borrow, t)
             if run.failover_config is not None:
                 yield from _failover_check(run, t)
             procs = []
@@ -690,12 +734,19 @@ def _ina_groups(run: _RunContext, did: int, window: Extent) -> dict[int, list[in
     )
 
 
-def _ina_message_count(run: _RunContext, did: int, window: Extent) -> int:
-    """Messages the aggregator drains for `window`: locals + one per node."""
+def _ina_message_count(
+    run: _RunContext, did: int, window: Extent, failed_nodes: frozenset = frozenset()
+) -> int:
+    """Messages the aggregator drains for `window`: locals + one per node.
+
+    Nodes in `failed_nodes` ship per-rank (leader bundling is degraded
+    there — see :func:`_member_round_ina_write`), so they count like the
+    aggregator's own node: one message per member.
+    """
     agg_node = run.comm.node_id_of_rank(run.domains[did].aggregator_rank)
     n = 0
     for nid, ranks in _ina_groups(run, did, window).items():
-        n += len(ranks) if nid == agg_node else 1
+        n += len(ranks) if (nid == agg_node or nid in failed_nodes) else 1
     return n
 
 
@@ -718,14 +769,16 @@ def _ina_leader_count(run: _RunContext, t: int, node_id: int) -> int:
 def _aggregator_window_ina(
     run: _RunContext, did: int, window: Extent, t: int, paged: bool
 ):
+    snap = run.stats.failed_nodes_snapshot((run.op_seq, t), run.comm.cluster)
     if run.op == "write":
         yield from _collect_and_write(
             run, did, window, t, paged, io_rounds=None, batched=True,
-            n_msgs=_ina_message_count(run, did, window),
+            n_msgs=_ina_message_count(run, did, window, snap),
         )
     else:
         yield from _read_and_scatter(
-            run, did, window, t, paged, io_rounds=None, intra_node=True
+            run, did, window, t, paged, io_rounds=None, intra_node=True,
+            failed_nodes=snap,
         )
 
 
@@ -746,12 +799,19 @@ def _member_round_ina_write(run: _RunContext, t: int):
     :meth:`~repro.mpi.comm.SimComm.staged_batched_send` rendezvous, so
     the node's entire round leaves the NIC as one shipment with one
     wire message per (domain, window).
+
+    If this rank's *own node* failed (between leader election and ship),
+    funnelling the round through a crippled leader would serialize every
+    co-located sender behind the failure slowdown — so the node's ranks
+    degrade to per-rank direct sends for the round, and the would-be
+    leader counts the degradation.
     """
     ctx, comm = run.ctx, run.comm
     plan, patterns = run.plan, run.patterns
     my_pattern = patterns[ctx.rank]
     my_node = comm.node_id_of_rank(ctx.rank)
     env = ctx.env
+    snap = run.stats.failed_nodes_snapshot((run.op_seq, t), comm.cluster)
     sends = []
     duties = []  # (did, local senders, my slice, packed data, wire paged flag)
     for did, domain in enumerate(run.domains):
@@ -781,6 +841,22 @@ def _member_round_ina_write(run: _RunContext, t: int):
             )
             continue
         local = _ina_groups(run, did, window)[my_node]
+        if my_node in snap:
+            sends.append(
+                comm.isend(
+                    ctx, agg, q.nbytes, tag=(run.op_seq, did, t),
+                    payload=data, paged_dst=paged_wire,
+                )
+            )
+            if ctx.rank == local[0]:
+                run.stats.record_ina_fallback()
+                tracer = env.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "shuffle", "shuffle.ina.leader_fallback",
+                        my_node, ctx.rank, domain=did, round=t,
+                    )
+            continue
         if ctx.rank != local[0]:
             # hand the slice to this node's leader (shared-memory hop)
             sends.append(
@@ -847,12 +923,18 @@ def _member_round_ina_read(run: _RunContext, t: int):
     members over the shared-memory path.  Blocking waits only ever
     chain toward lower-ranked leaders on the same node, so the
     per-domain recv order cannot deadlock.
+
+    A failed node receives per-rank instead (mirroring the write-side
+    degradation): the aggregator skipped the bundle for it, so each
+    member posts a plain receive and the would-be leader counts the
+    degradation.
     """
     ctx, comm = run.ctx, run.comm
     plan, patterns = run.plan, run.patterns
     my_pattern = patterns[ctx.rank]
     my_node = comm.node_id_of_rank(ctx.rank)
     env = ctx.env
+    snap = run.stats.failed_nodes_snapshot((run.op_seq, t), comm.cluster)
     forwards = []
     staging = []
     for did, domain in enumerate(run.domains):
@@ -874,6 +956,20 @@ def _member_round_ina_read(run: _RunContext, t: int):
                 _unpack_payload(my_pattern, run.payload, q, msg.payload)
             continue
         local = _ina_groups(run, did, window)[my_node]
+        if my_node in snap:
+            msg = yield from comm.recv(ctx, source=agg, tag=tag)
+            run.stats.record_shuffle(msg.nbytes, same_node=False)
+            if run.payload is not None and msg.payload is not None:
+                _unpack_payload(my_pattern, run.payload, q, msg.payload)
+            if ctx.rank == local[0]:
+                run.stats.record_ina_fallback()
+                tracer = env.tracer
+                if tracer.enabled:
+                    tracer.instant(
+                        "shuffle", "shuffle.ina.leader_fallback",
+                        my_node, ctx.rank, domain=did, round=t,
+                    )
+            continue
         if ctx.rank == local[0]:
             msg = yield from comm.recv(ctx, source=agg, tag=tag)
             parts = (
@@ -986,6 +1082,32 @@ def _member_streaming(run: _RunContext, did: int):
 # ---------------------------------------------------------------------------
 # aggregator side
 # ---------------------------------------------------------------------------
+def _borrow_stage(run: _RunContext, did: int, lease, nbytes: int, inbound: bool):
+    """Move `nbytes` between the aggregator and its leased remote buffer.
+
+    A borrowed aggregation buffer lives on the lender node, so buffer
+    assembly (`inbound`) and drain (outbound) cross the fabric at α–β
+    cost instead of the local memory bus.  A lender that failed mid-round
+    slows the transfer through the network's failure model; the lease
+    itself is only revoked at the next round boundary.
+    """
+    ctx, comm = run.ctx, run.comm
+    lender = comm.cluster.node_of(lease.lender_node)
+    tracer = ctx.env.tracer
+    t0 = tracer.now() if tracer.enabled else 0.0
+    if inbound:
+        yield from comm.cluster.network.transfer(ctx.node, lender, nbytes)
+    else:
+        yield from comm.cluster.network.transfer(lender, ctx.node, nbytes)
+    run.stats.record_borrow_bytes(nbytes)
+    if tracer.enabled:
+        tracer.complete(
+            "borrow", "borrow.stage" if inbound else "borrow.fetch",
+            comm.placement[ctx.rank], ctx.rank, t0, tracer.now() - t0,
+            domain=did, lender=lease.lender_node, bytes=nbytes,
+        )
+
+
 def _expected_senders(run: _RunContext, did: int, window: Extent) -> list[int]:
     return run.plan.window_senders(
         did, window.offset, window.end, run.patterns
@@ -1064,9 +1186,15 @@ def _collect_and_write(
                 buffer[rel : rel + ln] = data[qbuf : qbuf + ln]
     if received == 0:
         return
-    # assemble the collective buffer: off-chip memory traffic, throttled
-    # for paged buffers
-    yield from run.node.memcopy(received, paged=paged)
+    lease = run.borrow.lease_for(did) if run.borrow is not None else None
+    if lease is not None:
+        # assembly lands in the lender's leased buffer: α–β fabric cost
+        # instead of the local memory bus
+        yield from _borrow_stage(run, did, lease, received, inbound=True)
+    else:
+        # assemble the collective buffer: off-chip memory traffic,
+        # throttled for paged buffers
+        yield from run.node.memcopy(received, paged=paged)
 
     windows = io_rounds if io_rounds is not None else [window]
     for i, io_window in enumerate(windows):
@@ -1074,6 +1202,11 @@ def _collect_and_write(
             # streaming mode: charge the skipped per-round synchronisation
             yield env.sleep(run.node.spec.nic_latency)
         pieces = _union_extents(run.patterns, expected, io_window)
+        if lease is not None and pieces:
+            # pull the assembled round back from the lender for the write
+            yield from _borrow_stage(
+                run, did, lease, sum(p.length for p in pieces), inbound=False
+            )
         for piece in pieces:
             data = None
             if buffer is not None:
@@ -1081,10 +1214,12 @@ def _collect_and_write(
                 data = buffer[rel : rel + piece.length]
             yield from pfs.write_extent(run.node, piece, data)
             run.stats.record_bytes(piece.length)
+            run.stats.record_io_extent(piece.offset, piece.length)
 
 
 def _read_and_scatter(
-    run, did, window, t, paged, io_rounds, batched=False, intra_node=False
+    run, did, window, t, paged, io_rounds, batched=False, intra_node=False,
+    failed_nodes=frozenset(),
 ):
     """Read `window`'s requested extents, then send each rank its bytes.
 
@@ -1094,6 +1229,8 @@ def _read_and_scatter(
     `intra_node`, each remote node instead gets a single
     :class:`_IntraNodeBundle` addressed to its leader (lowest member
     rank), who fans the slices out locally — one wire message per node.
+    Nodes in `failed_nodes` are never bundled: their would-be leader is
+    crippled, so their members get plain per-rank sends instead.
     """
     ctx, comm, pfs, env = run.ctx, run.comm, run.pfs, run.ctx.env
     expected = _expected_senders(run, did, window)
@@ -1112,13 +1249,21 @@ def _read_and_scatter(
             data = yield from pfs.read_extent(run.node, piece)
             total_read += piece.length
             run.stats.record_bytes(piece.length)
+            run.stats.record_io_extent(piece.offset, piece.length)
             if buffer is not None and data is not None:
                 rel = piece.offset - window.offset
                 buffer[rel : rel + piece.length] = data
     if total_read == 0:
         return
-    # stage the buffer through the memory system before scattering
-    yield from run.node.memcopy(total_read, paged=paged)
+    lease = run.borrow.lease_for(did) if run.borrow is not None else None
+    if lease is not None:
+        # park the fresh read in the lender's leased buffer, then pull
+        # it back for the scatter — both legs cross the fabric
+        yield from _borrow_stage(run, did, lease, total_read, inbound=True)
+        yield from _borrow_stage(run, did, lease, total_read, inbound=False)
+    else:
+        # stage the buffer through the memory system before scattering
+        yield from run.node.memcopy(total_read, paged=paged)
 
     sends = []
     by_node: dict[int, list] = {}
@@ -1133,7 +1278,7 @@ def _read_and_scatter(
                 data[qbuf : qbuf + ln] = buffer[rel : rel + ln]
         tag = (run.op_seq, did, t)
         dest_node = comm.node_id_of_rank(r)
-        if intra_node and dest_node != my_node:
+        if intra_node and dest_node != my_node and dest_node not in failed_nodes:
             by_node.setdefault(dest_node, []).append((r, q.nbytes, data))
             continue
         if batched and dest_node != my_node:

@@ -24,12 +24,14 @@ Execution is the shared machinery in :mod:`repro.core.engine`.
 
 from __future__ import annotations
 
+from dataclasses import replace as _cfg_replace
 from time import perf_counter
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.aggregator_selection import PlacementError, place_aggregators
+from repro.core.borrow import BorrowDegraded, BorrowSession
 from repro.core.config import MCIOConfig
 from repro.core.engine import ExecutionPlan, execute_collective
 from repro.core.filedomain import FileDomain, even_domains
@@ -111,14 +113,26 @@ class MemoryConsciousCollectiveIO:
         self.pfs = pfs
         self.config = config if config is not None else MCIOConfig()
         self._rank_seq: dict[int, int] = {}
-        self._plans: dict[int, ExecutionPlan] = {}
+        self._plans: dict = {}
         self._stats: dict[int, StatsCollector] = {}
+        #: Per-operation shared lease state (None for lease-free plans).
+        self._borrows: dict = {}
+        #: Optional :class:`~repro.core.audit.ConservationAuditor`; when
+        #: set (via its ``attach``), every operation's collector reports
+        #: attempts/extents to it and finalize hands it the final stats.
+        self.auditor = None
         #: Finalized stats of completed operations, in call order.
         self.history: list[CollectiveStats] = []
         #: Signature-keyed reuse of finished plans (see
         #: :mod:`repro.core.plan_cache`); disabled unless
         #: ``config.plan_cache`` opts in.
         self.plan_cache = PlanCache(enabled=self.config.plan_cache)
+        if self.plan_cache.enabled:
+            # lease grants/revocations change where aggregation buffers
+            # live, so plans cached against the old lease set are stale
+            self.comm.cluster.memory_ledger.add_listener(
+                self.plan_cache.on_lease_event
+            )
         #: Partition-tree evaluations performed by the most recent
         #: :meth:`plan` call (0 when the plan came from the cache).
         self.last_plan_tree_queries = 0
@@ -168,17 +182,26 @@ class MemoryConsciousCollectiveIO:
             (ctx.node.node_id, ctx.node.memory.free_available, ctx.node.failed),
             nbytes=16,
         )
-        plan, stats = self._prepare(seq, patterns, mem_state, op)
+        plan, stats, borrow = self._prepare(seq, patterns, mem_state, op)
         if plan is None:
             # last tier of the fallback chain: uncoordinated independent I/O
             result = yield from self._independent_tier(ctx, pattern, payload, op, stats)
         else:
-            result = yield from execute_collective(
-                ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
-                payload=payload, granularity=self.config.shuffle_granularity,
-                failover_config=self.config if self.config.failover else None,
-                intra_node_aggregation=self.config.intra_node_aggregation,
-            )
+            try:
+                result = yield from execute_collective(
+                    ctx, self.comm, self.pfs, plan, patterns, stats, op, seq,
+                    payload=payload, granularity=self.config.shuffle_granularity,
+                    failover_config=self.config if self.config.failover else None,
+                    intra_node_aggregation=self.config.intra_node_aggregation,
+                    borrow=borrow,
+                )
+            except BorrowDegraded:
+                # every rank raises at the same round boundary (after
+                # lease teardown); re-enter the normal degradation chain
+                # with borrowing disabled
+                result = yield from self._borrow_fallback(
+                    ctx, pattern, payload, op, seq, patterns, stats
+                )
         self._finish(seq, ctx)
         return result
 
@@ -208,8 +231,20 @@ class MemoryConsciousCollectiveIO:
             )
             if reason is not None:
                 collector.extra["fallback_reason"] = reason
+            if self.auditor is not None:
+                collector.auditor = self.auditor
             self._stats[seq] = collector
-        return self._plans[seq], self._stats[seq]
+            borrowed = plan is not None and any(
+                d.lender_node is not None for d in plan.domains
+            )
+            # lease-free plans get no session at all: the borrow machinery
+            # must not perturb never-triggered runs
+            self._borrows[seq] = (
+                BorrowSession(self.comm.cluster.memory_ledger, self.config, seq)
+                if borrowed
+                else None
+            )
+        return self._plans[seq], self._stats[seq], self._borrows[seq]
 
     def _plan_or_reuse(self, patterns, memory_available, failed_nodes):
         """Plan via the cache: returns ``((plan, tier, reason), cached)``.
@@ -227,7 +262,10 @@ class MemoryConsciousCollectiveIO:
         for node in self.comm.cluster.nodes:
             memory_available.setdefault(node.node_id, node.memory.free_available)
         stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
-        key = cache.signature(patterns, self.config, failed_nodes, stripe)
+        key = cache.signature(
+            patterns, self.config, failed_nodes, stripe,
+            lease_digest=self.comm.cluster.memory_ledger.digest(),
+        )
         digest = (
             ()
             if self.config.memory_oblivious
@@ -243,6 +281,7 @@ class MemoryConsciousCollectiveIO:
     def _independent_tier(self, ctx, pattern, payload, op, stats):
         """Process generator: serve the collective as independent I/O."""
         stats.mark_start(ctx.env.now)
+        stats.record_attempt()
         if op == "write":
             yield from self.pfs.write_pattern(ctx.node, pattern, payload)
             result = payload
@@ -253,9 +292,59 @@ class MemoryConsciousCollectiveIO:
                 data = payload
             result = data
         stats.record_bytes(pattern.nbytes)
+        for file_off, length, _buf_off in pattern.iter_mapped_extents():
+            stats.record_io_extent(file_off, length)
         # preserve collective-call semantics: no rank leaves early
         yield from self.comm.barrier(ctx)
         return result
+
+    def _borrow_fallback(self, ctx, pattern, payload, op, seq, patterns, stats):
+        """Process generator: re-run a degraded borrowed collective.
+
+        Every rank arrives here at the same sim instant (the abort round's
+        boundary).  A fresh memory/health allgather feeds the normal
+        degradation chain with ``placement_policy`` forced to
+        ``"remerge"``, so the retry re-enters MCIO → two-phase →
+        independent exactly as a memory-pressured plan would — no second
+        borrow attempt inside the same operation.
+        """
+        mem_state = yield from self.comm.allgather(
+            ctx,
+            (ctx.node.node_id, ctx.node.memory.free_available, ctx.node.failed),
+            nbytes=16,
+        )
+        key = ("borrow-fallback", seq)
+        if key not in self._plans:
+            memory_available = {}
+            failed_nodes = set()
+            for node_id, avail, failed in mem_state:
+                memory_available.setdefault(node_id, avail)
+                if failed:
+                    failed_nodes.add(node_id)
+            remerge_cfg = _cfg_replace(self.config, placement_policy="remerge")
+            plan, tier, reason = self._plan_with_fallback(
+                patterns,
+                memory_available,
+                frozenset(failed_nodes),
+                config=remerge_cfg,
+            )
+            stats.set_tier(tier if tier is not None else "remerge")
+            if reason is not None:
+                stats.extra.setdefault("fallback_reason", reason)
+            self._plans[key] = plan
+        plan = self._plans[key]
+        if plan is None:
+            return (yield from self._independent_tier(ctx, pattern, payload, op, stats))
+        remerge_cfg = _cfg_replace(self.config, placement_policy="remerge")
+        return (
+            yield from execute_collective(
+                ctx, self.comm, self.pfs, plan, patterns, stats, op,
+                ("bfb", seq),
+                payload=payload, granularity="round",
+                failover_config=remerge_cfg if self.config.failover else None,
+                intra_node_aggregation=False,
+            )
+        )
 
     def _finish(self, seq, ctx):
         stats = self._stats.get(seq)
@@ -268,6 +357,8 @@ class MemoryConsciousCollectiveIO:
             self.history.append(final)
             del self._stats[seq]
             del self._plans[seq]
+            self._borrows.pop(seq, None)
+            self._plans.pop(("borrow-fallback", seq), None)
             if final.failovers:
                 # aggregators moved mid-run: every cached plan (including
                 # the one just executed) now names stale placements
@@ -279,6 +370,7 @@ class MemoryConsciousCollectiveIO:
         patterns: Sequence[AccessPattern],
         memory_available: dict[int, int],
         failed_nodes: frozenset = frozenset(),
+        config: Optional[MCIOConfig] = None,
     ):
         """Graceful planning degradation: MCIO → two-phase → independent.
 
@@ -286,15 +378,19 @@ class MemoryConsciousCollectiveIO:
         plan succeeded, ``"two-phase"`` for the ROMIO-style even plan on
         the live hosts, ``"independent"`` (with ``plan=None``) when not
         even one live aggregator host exists; `reason` carries the
-        triggering :class:`PlacementError` message.
+        triggering :class:`PlacementError` message.  `config` overrides
+        the engine's parameters for this plan only (the borrow fallback
+        re-plans with ``placement_policy="remerge"``).
         """
+        cfg = self.config if config is None else config
         try:
             plan = self.plan(
-                patterns, memory_available, failed_nodes=failed_nodes
+                patterns, memory_available, failed_nodes=failed_nodes,
+                config=cfg,
             )
             return plan, None, None
         except PlacementError as exc:
-            if not self.config.fallback_chain:
+            if not cfg.fallback_chain:
                 raise
             reason = str(exc)
         plan = self._two_phase_plan(patterns, failed_nodes)
@@ -338,14 +434,16 @@ class MemoryConsciousCollectiveIO:
         patterns: Sequence[AccessPattern],
         memory_available: dict[int, int],
         failed_nodes: frozenset = frozenset(),
+        config: Optional[MCIOConfig] = None,
     ) -> ExecutionPlan:
         """Run the four-component MCIO planning pipeline.
 
         Hosts in `failed_nodes` are soft-excluded: they plan as if they
         had no memory at all, so the placer only lands on them when no
-        live candidate exists (and marks the placement paged).
+        live candidate exists (and marks the placement paged).  `config`
+        (when given) overrides the engine's parameters for this plan.
         """
-        cfg = self.config
+        cfg = self.config if config is None else config
         stripe = self.pfs.layout.stripe_size if cfg.stripe_align else 0
         self.last_plan_tree_queries = 0
         # Planning costs no simulated time: its spans sit at the current

@@ -72,6 +72,19 @@ class CollectiveStats:
     #: Partition-tree data-size evaluations performed while planning this
     #: collective (0 on a cache hit — the work a reused plan avoided).
     planning_tree_queries: int = 0
+    #: Remote-memory lease lifecycle counts for this collective
+    #: (borrowed aggregation buffers; all zero outside borrow placements).
+    leases_granted: int = 0
+    leases_renewed: int = 0
+    leases_revoked: int = 0
+    leases_expired: int = 0
+    #: Bytes staged to / fetched from leased remote buffers over the fabric.
+    borrow_bytes: int = 0
+    #: Mid-collective borrow aborts that degraded the run back to remerge.
+    borrow_fallbacks: int = 0
+    #: Intra-node leader bundles degraded to per-rank sends because the
+    #: leader's node failed between election and ship.
+    ina_fallbacks: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -201,6 +214,13 @@ class CollectiveStats:
             "plan_cache_misses": self.plan_cache_misses,
             "plan_cache_invalidations": self.plan_cache_invalidations,
             "planning_tree_queries": self.planning_tree_queries,
+            "leases_granted": self.leases_granted,
+            "leases_renewed": self.leases_renewed,
+            "leases_revoked": self.leases_revoked,
+            "leases_expired": self.leases_expired,
+            "borrow_bytes": self.borrow_bytes,
+            "borrow_fallbacks": self.borrow_fallbacks,
+            "ina_fallbacks": self.ina_fallbacks,
         }
 
     @classmethod
@@ -240,6 +260,13 @@ class CollectiveStats:
             plan_cache_misses=d.get("plan_cache_misses", 0),
             plan_cache_invalidations=d.get("plan_cache_invalidations", 0),
             planning_tree_queries=d.get("planning_tree_queries", 0),
+            leases_granted=d.get("leases_granted", 0),
+            leases_renewed=d.get("leases_renewed", 0),
+            leases_revoked=d.get("leases_revoked", 0),
+            leases_expired=d.get("leases_expired", 0),
+            borrow_bytes=d.get("borrow_bytes", 0),
+            borrow_fallbacks=d.get("borrow_fallbacks", 0),
+            ina_fallbacks=d.get("ina_fallbacks", 0),
         )
 
 
@@ -306,6 +333,23 @@ class StatsCollector:
             "per-message shuffle payload sizes",
             labelnames=("path",),
         )
+        self._c_leases = self.registry.counter(
+            "leases_total",
+            "remote-memory lease lifecycle events",
+            labelnames=("event",),
+        )
+        self._c_borrow_bytes = self.registry.counter(
+            "borrow_bytes_total",
+            "bytes staged to/fetched from leased remote buffers",
+        )
+        self._c_borrow_fallbacks = self.registry.counter(
+            "borrow_fallbacks_total",
+            "mid-collective borrow aborts degraded back to remerge",
+        )
+        self._c_ina_fallbacks = self.registry.counter(
+            "ina_fallbacks_total",
+            "intra-node leader bundles degraded to per-rank sends",
+        )
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self.n_groups = 1
@@ -319,6 +363,14 @@ class StatsCollector:
         self._pfs = None
         self._pfs_retries0 = 0
         self._pfs_abandons0 = 0
+        #: Per-(op_seq, round) frozen failed-node sets: the first rank to
+        #: reach a round pins the snapshot all ranks of that round use,
+        #: keeping per-rank degradation decisions consistent even when a
+        #: node fails "between" two ranks' turns at the same sim instant.
+        self._round_failed: dict = {}
+        #: Optional :class:`~repro.core.audit.ConservationAuditor`; when
+        #: set, engines report attempts and I/O extents through it.
+        self.auditor = None
 
     # ------------------------------------------------------------------
     # registry views (the legacy attribute surface)
@@ -369,6 +421,34 @@ class StatsCollector:
     def paged_aggregators(self) -> set[int]:
         """Ranks whose aggregation buffers spilled to paging."""
         return {rank for (rank,) in self._g_agg_paged.values()}
+
+    @property
+    def leases_granted(self) -> int:
+        return self._c_leases.value(event="granted")
+
+    @property
+    def leases_renewed(self) -> int:
+        return self._c_leases.value(event="renewed")
+
+    @property
+    def leases_revoked(self) -> int:
+        return self._c_leases.value(event="revoked")
+
+    @property
+    def leases_expired(self) -> int:
+        return self._c_leases.value(event="expired")
+
+    @property
+    def borrow_bytes(self) -> int:
+        return self._c_borrow_bytes.value()
+
+    @property
+    def borrow_fallbacks(self) -> int:
+        return self._c_borrow_fallbacks.value()
+
+    @property
+    def ina_fallbacks(self) -> int:
+        return self._c_ina_fallbacks.value()
 
     # ------------------------------------------------------------------
     def mark_start(self, now: float) -> None:
@@ -427,6 +507,47 @@ class StatsCollector:
             self.plan_cache_misses = cache_stats.misses
             self.plan_cache_invalidations = cache_stats.invalidations
 
+    def record_lease(self, event: str) -> None:
+        """Count one lease lifecycle event (granted/renewed/...)."""
+        self._c_leases.inc(1, event=event)
+
+    def record_borrow_bytes(self, nbytes: int) -> None:
+        """Add bytes moved to/from a leased remote buffer."""
+        self._c_borrow_bytes.inc(nbytes)
+
+    def record_borrow_fallback(self) -> None:
+        """Count one mid-collective borrow abort (degrade to remerge)."""
+        self._c_borrow_fallbacks.inc(1)
+
+    def record_ina_fallback(self) -> None:
+        """Count one leader bundle degraded to per-rank sends."""
+        self._c_ina_fallbacks.inc(1)
+
+    def failed_nodes_snapshot(self, key, cluster) -> frozenset:
+        """Failed-node set pinned by the first caller for `key`.
+
+        All ranks of one (op, round) share the snapshot the earliest
+        arriver took, so the degradation decision is identical across
+        ranks even if the fault injector flips a node between two ranks'
+        turns at the same sim instant.
+        """
+        snap = self._round_failed.get(key)
+        if snap is None:
+            snap = self._round_failed[key] = frozenset(
+                node.node_id for node in cluster.nodes if node.failed
+            )
+        return snap
+
+    def record_attempt(self) -> None:
+        """Notify the auditor a rank entered an execution attempt."""
+        if self.auditor is not None:
+            self.auditor.on_attempt(self)
+
+    def record_io_extent(self, offset: int, length: int) -> None:
+        """Report one file-system extent touched (auditor bookkeeping)."""
+        if self.auditor is not None:
+            self.auditor.on_io_extent(self, offset, length)
+
     def attach_pfs(self, pfs) -> None:
         """Snapshot the file system's retry counters at operation start.
 
@@ -444,7 +565,7 @@ class StatsCollector:
         """Fold into an immutable summary."""
         if self.start_time is None or self.end_time is None:
             raise RuntimeError("run was never marked started/ended")
-        return CollectiveStats(
+        final = CollectiveStats(
             strategy=self.strategy,
             op=self.op,
             total_bytes=self.total_bytes,
@@ -474,4 +595,14 @@ class StatsCollector:
             plan_cache_misses=self.plan_cache_misses,
             plan_cache_invalidations=self.plan_cache_invalidations,
             planning_tree_queries=self.planning_tree_queries,
+            leases_granted=self.leases_granted,
+            leases_renewed=self.leases_renewed,
+            leases_revoked=self.leases_revoked,
+            leases_expired=self.leases_expired,
+            borrow_bytes=self.borrow_bytes,
+            borrow_fallbacks=self.borrow_fallbacks,
+            ina_fallbacks=self.ina_fallbacks,
         )
+        if self.auditor is not None:
+            self.auditor.on_finalize(self, final)
+        return final

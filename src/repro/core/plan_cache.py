@@ -107,9 +107,23 @@ class PlanCache:
         config: Any,
         failed_nodes: frozenset,
         stripe_size: int,
+        lease_digest: tuple = (),
     ) -> Hashable:
-        """Deterministic key of the non-memory planning inputs."""
-        return (tuple(patterns), config, frozenset(failed_nodes), stripe_size)
+        """Deterministic key of the non-memory planning inputs.
+
+        `lease_digest` is the ledger's active-lease fingerprint
+        (:meth:`repro.cluster.memory.LeaseLedger.digest`): outstanding
+        remote-memory leases pin lender capacity the placer must not
+        re-promise, so plans built against different lease sets never
+        alias.
+        """
+        return (
+            tuple(patterns),
+            config,
+            frozenset(failed_nodes),
+            stripe_size,
+            tuple(lease_digest),
+        )
 
     @staticmethod
     def memory_digest(memory_available: Mapping[int, int], config: Any) -> tuple:
@@ -216,6 +230,18 @@ class PlanCache:
         just as much as one starting.
         """
         self.invalidate(f"fault:{getattr(event, 'kind', event)}:{phase}")
+
+    def on_lease_event(self, lease: Any, event: str) -> None:
+        """Lease-ledger listener: lease churn clears the cache.
+
+        A grant pins lender memory a cached plan may have counted on; a
+        revoke or expiry frees capacity that could change placement.
+        Releases at normal end-of-collective return the ledger to the
+        pre-grant state the next planning pass observes anyway, so they
+        do not invalidate on their own.
+        """
+        if event in ("grant", "revoke", "expire"):
+            self.invalidate(f"lease:{event}")
 
     def clear(self) -> None:
         """Drop all entries without counting an invalidation (test aid)."""

@@ -82,6 +82,9 @@ class TwoPhaseCollectiveIO:
         self._rank_seq: dict[int, int] = {}
         self._plans: dict[int, ExecutionPlan] = {}
         self._stats: dict[int, StatsCollector] = {}
+        #: Optional :class:`~repro.core.audit.ConservationAuditor`; when
+        #: set (via its ``attach``), collectors report through it.
+        self.auditor = None
         #: Finalized stats of completed operations, in call order.
         self.history: list[CollectiveStats] = []
 
@@ -132,6 +135,8 @@ class TwoPhaseCollectiveIO:
             collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
             collector.n_groups = self._plans[seq].n_groups
             collector.attach_pfs(self.pfs)
+            if self.auditor is not None:
+                collector.auditor = self.auditor
             self._stats[seq] = collector
         return self._plans[seq], self._stats[seq]
 

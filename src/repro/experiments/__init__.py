@@ -12,10 +12,12 @@ a ``main()`` CLI entry point::
     python -m repro.experiments.dynamic_memory
     python -m repro.experiments.topology
     python -m repro.experiments.resilience
+    python -m repro.experiments.borrow
 """
 
 from . import (
     ablation,
+    borrow,
     dynamic_memory,
     figure6,
     figure7,
@@ -43,6 +45,7 @@ __all__ = [
     "SweepPoint",
     "ablation",
     "average_improvements",
+    "borrow",
     "dynamic_memory",
     "figure6",
     "figure7",

@@ -178,6 +178,7 @@ def run(
     payload_kib: int = 1024,
     horizon: float = 8.0,
     tracer=None,
+    audit: bool = False,
 ) -> ResilienceResult:
     """Sweep fault intensity for both strategies on a paired platform.
 
@@ -185,8 +186,12 @@ def run(
     seed and the same fault schedule (derived from ``(seed, rate)``), so
     within a rate the two strategies face an identical storm.  Passing a
     :class:`~repro.obs.Tracer` records every cell onto one concatenated
-    timeline (see ``--trace-out`` on the CLI).
+    timeline (see ``--trace-out`` on the CLI).  With `audit`, every cell
+    runs under a :class:`~repro.core.audit.ConservationAuditor` and the
+    no-lost-bytes invariant is asserted after each storm (raising
+    :class:`~repro.core.audit.ConservationError` on violation).
     """
+    from repro.core import ConservationAuditor
     nbytes = payload_kib * KIB
     # 4 MB nodes with N_ah=4 give ~1 MB buffers on ~4 MB domains: four
     # lockstep rounds (so mid-run failover has rounds left to save) and
@@ -230,6 +235,9 @@ def run(
                     ),
                 )
                 engine.watch_faults(injector)
+            auditor = (
+                ConservationAuditor().attach(engine) if audit else None
+            )
 
             def main_fn(ctx):
                 # interleaved (coll_perf-style) pattern: every file domain
@@ -252,6 +260,21 @@ def run(
             platform.comm.run_spmd(main_fn)
             injector.stop()
             stats = engine.history[-1]
+            if auditor is not None:
+                chunk = 64 * KIB
+                auditor.verify(
+                    [
+                        AccessPattern(
+                            (
+                                StridedSegment(
+                                    r * chunk, chunk, n_ranks * chunk,
+                                    nbytes // chunk,
+                                ),
+                            )
+                        )
+                        for r in range(n_ranks)
+                    ]
+                )
             points.append(
                 ChaosPoint(
                     fault_rate=float(rate),

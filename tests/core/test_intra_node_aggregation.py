@@ -200,6 +200,129 @@ class TestMemoryAndFallback:
             counts[intra_node] = stack.cluster.network.inter_node_messages
         assert counts[True] == counts[False]
 
+    # mid-run death tests need genuinely *multi-round* domains: the
+    # failed-node snapshot is pinned once per lockstep round, so a fault
+    # can only flip rounds whose snapshot lands after it.  Deep per-rank
+    # patterns + memory-tight hosts give 4 rounds at ~elapsed/4 spacing;
+    # a fault at 0.4x elapsed leaves the last two rounds to degrade.
+    DEEP_REPS = 128
+
+    @classmethod
+    def _deep(cls, rank):
+        block = 64
+        return AccessPattern(
+            (StridedSegment(rank * block, block, block * N_RANKS, cls.DEEP_REPS),)
+        )
+
+    @classmethod
+    def _build_tight(cls, intra_node):
+        stack = make_stack(n_ranks=N_RANKS, n_nodes=N_NODES, cores=CORES)
+        for node in stack.cluster.nodes:
+            node.memory.set_available(8 * KIB)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            mcio_cfg(
+                msg_group=1 << 30,
+                intra_node_aggregation=intra_node,
+            ),
+        )
+        return stack, engine
+
+    def test_mid_run_leader_node_death_degrades_to_per_rank(self):
+        """A leader host dying *between election and ship* must not bundle.
+
+        Leaders are elected per (node, domain, window) at planning time;
+        if their host fails mid-collective, later windows on that node
+        ship per-rank straight to the aggregator (the bundle would ride
+        a dead leader).  The write must still complete with the exact
+        bytes of the per-rank path, and the degradation must be counted.
+        """
+        probe_stack, probe_engine = self._build_tight(intra_node=True)
+
+        def probe_main(ctx):
+            pattern = self._deep(ctx.rank)
+            yield from probe_engine.write(
+                ctx, pattern, rank_payload(ctx.rank, pattern.nbytes)
+            )
+
+        probe_stack.run_spmd(probe_main)
+        fault_at = probe_engine.history[0].elapsed * 0.4
+        end = max(self._deep(r).end for r in range(N_RANKS))
+        clean_image = bytes(
+            np.asarray(probe_stack.pfs.datastore.read(0, end), dtype=np.uint8)
+        )
+
+        images = {}
+        fallbacks = {}
+        for intra_node in (False, True):
+            stack, engine = self._build_tight(intra_node)
+            victim = stack.cluster.nodes[0]
+
+            def main(ctx):
+                if ctx.rank == 0:
+                    def saboteur():
+                        yield ctx.env.sleep(fault_at)
+                        victim.fail()
+                    ctx.spawn(saboteur(), name="leader-killer")
+                pattern = self._deep(ctx.rank)
+                yield from engine.write(
+                    ctx, pattern, rank_payload(ctx.rank, pattern.nbytes)
+                )
+
+            stack.run_spmd(main)
+            images[intra_node] = bytes(
+                np.asarray(stack.pfs.datastore.read(0, end), dtype=np.uint8)
+            )
+            fallbacks[intra_node] = engine.history[0].ina_fallbacks
+            assert all(
+                node.memory.committed == 0 for node in stack.cluster.nodes
+            )
+        assert images[True] == images[False] == clean_image
+        assert fallbacks[True] > 0, "expected counted per-rank degradations"
+        assert fallbacks[False] == 0
+
+    def test_mid_run_leader_node_death_degrades_reads_too(self):
+        probe_stack, probe_engine = self._build_tight(intra_node=True)
+        end = max(self._deep(r).end for r in range(N_RANKS))
+        idx = np.arange(end, dtype=np.int64)
+        file_bytes = ((idx * 31 + 7) % 251).astype(np.uint8)
+        probe_stack.pfs.datastore.write(0, file_bytes)
+
+        def probe_main(ctx):
+            data = yield from probe_engine.read(ctx, self._deep(ctx.rank))
+            return data
+
+        probe_stack.run_spmd(probe_main)
+        fault_at = probe_engine.history[0].elapsed * 0.4
+
+        payloads = {}
+        fallbacks = {}
+        for intra_node in (False, True):
+            stack, engine = self._build_tight(intra_node)
+            victim = stack.cluster.nodes[0]
+            stack.pfs.datastore.write(0, file_bytes)
+
+            def main(ctx):
+                if ctx.rank == 0:
+                    def saboteur():
+                        yield ctx.env.sleep(fault_at)
+                        victim.fail()
+                    ctx.spawn(saboteur(), name="leader-killer")
+                data = yield from engine.read(ctx, self._deep(ctx.rank))
+                return data
+
+            results = stack.run_spmd(main)
+            payloads[intra_node] = [
+                hashlib.sha256(
+                    np.asarray(results[r], dtype=np.uint8).tobytes()
+                ).hexdigest()
+                for r in range(N_RANKS)
+            ]
+            fallbacks[intra_node] = engine.history[0].ina_fallbacks
+        assert payloads[True] == payloads[False]
+        assert fallbacks[True] > 0
+        assert fallbacks[False] == 0
+
     def test_composes_with_plan_cache(self):
         stack, engine = _build("mcio", intra_node=True, plan_cache=True)
 
