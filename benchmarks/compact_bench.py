@@ -147,6 +147,16 @@ def render_table(rows: list[dict], markdown: bool) -> str:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    if not args.old.exists():
+        # first run of a new trajectory point, or the CI cache of the
+        # previous BENCH_*.json missed: there is nothing to compare
+        # against, which is not an error — the new point still gets
+        # committed and the *next* run compares normally.
+        print(
+            f"no previous trajectory point at {args.old} — skipping "
+            "comparison (first run or cache miss)"
+        )
+        return 0
     old = load_records(args.old)
     new = load_records(args.new)
     rows = compare_records(old, new, args.threshold)

@@ -35,9 +35,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.config import MCIOConfig
 from repro.core.filedomain import FileDomain
 from repro.core.partition_tree import PartitionTree
+from repro.core.pattern_array import PatternArray
 from repro.core.request import AccessPattern, Extent
 
 __all__ = ["PlacementError", "place_aggregators", "candidate_hosts"]
@@ -86,6 +89,20 @@ def candidate_hosts(
     """
     lo, hi = domain.offset, domain.end
     hosts: dict[int, list[int]] = {}
+    if isinstance(patterns, PatternArray):
+        # vectorized membership test, then intersect with the group's
+        # ranks (ascending both ways, so rank order is preserved); a
+        # group spanning every rank needs no intersection at all
+        inside = patterns.senders_in(lo, hi)
+        if len(ranks) == len(patterns):
+            members = inside
+        else:
+            members = np.intersect1d(
+                inside, np.asarray(ranks, dtype=np.int64), assume_unique=True
+            )
+        for r in members.tolist():
+            hosts.setdefault(placement[r], []).append(r)
+        return hosts
     for r in ranks:
         p = patterns[r]
         if p.empty or p.start >= hi or p.end <= lo:
@@ -293,10 +310,16 @@ def _try_assign(
                 key = (domain.offset, domain.end, node)
                 total = local_cache.get(key)
                 if total is None:
-                    total = local_cache[key] = sum(
-                        patterns[r].bytes_in(domain.offset, domain.end)
-                        for r in candidates[node]
-                    )
+                    if isinstance(patterns, PatternArray):
+                        total = patterns.sum_bytes_in(
+                            domain.offset, domain.end, candidates[node]
+                        )
+                    else:
+                        total = sum(
+                            patterns[r].bytes_in(domain.offset, domain.end)
+                            for r in candidates[node]
+                        )
+                    local_cache[key] = total
                 return total
 
             pool = satisfied

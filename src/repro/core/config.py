@@ -34,10 +34,17 @@ from typing import Literal, Optional
 
 from repro.cluster.spec import MIB
 
-__all__ = ["TwoPhaseConfig", "MCIOConfig", "PlacementPolicy", "ShuffleGranularity"]
+__all__ = [
+    "TwoPhaseConfig",
+    "MCIOConfig",
+    "ExecutionMode",
+    "PlacementPolicy",
+    "ShuffleGranularity",
+]
 
 ShuffleGranularity = Literal["round", "batched", "domain"]
 PlacementPolicy = Literal["remerge", "borrow", "hybrid"]
+ExecutionMode = Literal["per-rank", "vectorized", "auto"]
 
 
 def _check_common(cb_buffer_size: int, shuffle_granularity: str) -> None:
@@ -192,6 +199,22 @@ class MCIOConfig:
     lend_headroom:
         Bytes of uncommitted memory a lender must retain *beyond* the
         leased amount, protecting the lender's own workload.
+    execution_mode:
+        How collectives are simulated (DESIGN.md §11):
+
+        * ``"per-rank"`` — every rank is a DES coroutine; the reference
+          fidelity level and the default (bit-identical to prior
+          releases);
+        * ``"vectorized"`` / ``"auto"`` — co-located ranks are folded
+          into one node-level process carrying numpy-backed per-rank
+          accounting.  The planner still *refuses* vectorization per
+          collective whenever faults, borrow leases, failed hosts, or a
+          live data plane demand per-rank behaviour, falling back to
+          per-rank coroutines and counting the refusal in
+          :attr:`~repro.core.metrics.CollectiveStats.vectorized_refusals`.
+          Both spellings behave identically today; ``"auto"`` documents
+          intent ("vectorize when safe") for callers that never want a
+          hard requirement.
     """
 
     msg_group: int = 256 * MIB
@@ -215,6 +238,7 @@ class MCIOConfig:
     lease_backoff_base: float = 1e-4
     lease_backoff_cap: float = 5e-3
     lend_headroom: int = 0
+    execution_mode: ExecutionMode = "per-rank"
 
     def __post_init__(self) -> None:
         _check_common(self.cb_buffer_size, self.shuffle_granularity)
@@ -242,3 +266,5 @@ class MCIOConfig:
             raise ValueError("lease_backoff_cap must be >= lease_backoff_base")
         if self.lend_headroom < 0:
             raise ValueError("lend_headroom must be >= 0")
+        if self.execution_mode not in ("per-rank", "vectorized", "auto"):
+            raise ValueError(f"bad execution_mode {self.execution_mode!r}")

@@ -146,14 +146,24 @@ class ExecutionPlan:
         n_groups: int = 1,
     ) -> "ExecutionPlan":
         """Derive sender lists from the ranks' file views."""
-        senders = tuple(
-            tuple(
-                r
-                for r, p in enumerate(patterns)
-                if p.bytes_in(d.extent.offset, d.extent.end) > 0
+        from repro.core.pattern_array import PatternArray
+
+        if isinstance(patterns, PatternArray):
+            senders = tuple(
+                tuple(
+                    patterns.senders_in(d.extent.offset, d.extent.end).tolist()
+                )
+                for d in domains
             )
-            for d in domains
-        )
+        else:
+            senders = tuple(
+                tuple(
+                    r
+                    for r, p in enumerate(patterns)
+                    if p.bytes_in(d.extent.offset, d.extent.end) > 0
+                )
+                for d in domains
+            )
         return cls(tuple(domains), senders, n_groups)
 
     @property

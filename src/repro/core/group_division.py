@@ -28,6 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal, Sequence
 
+import numpy as np
+
+from repro.core.pattern_array import PatternArray
 from repro.core.request import AccessPattern, Extent
 
 __all__ = ["AggregationGroup", "divide_groups"]
@@ -64,6 +67,8 @@ def _members(
     patterns: Sequence[AccessPattern], region: Extent
 ) -> tuple[int, ...]:
     lo, hi = region.offset, region.end
+    if isinstance(patterns, PatternArray):
+        return tuple(patterns.senders_in(lo, hi).tolist())
     return tuple(
         r
         for r, p in enumerate(patterns)
@@ -81,26 +86,43 @@ def _serial_walk(
     hi: int,
 ) -> list[Extent]:
     """Offset-ordered accumulation with node-boundary extension."""
-    order = sorted(
-        (r for r, p in enumerate(patterns) if not p.empty),
-        key=lambda r: (patterns[r].start, patterns[r].end, r),
-    )
+    if isinstance(patterns, PatternArray):
+        # vectorized sort, then plain-python lists for the linear walk
+        # (numpy scalar indexing in a hot loop is slower than list access)
+        active = np.flatnonzero(patterns.lengths > 0)
+        order_arr = active[
+            np.lexsort(
+                (active, patterns.ends[active], patterns.starts[active])
+            )
+        ]
+        order = order_arr.tolist()
+        starts = patterns.starts[order_arr].tolist()
+        ends = patterns.ends[order_arr].tolist()
+        sizes = patterns.lengths[order_arr].tolist()
+    else:
+        order = sorted(
+            (r for r, p in enumerate(patterns) if not p.empty),
+            key=lambda r: (patterns[r].start, patterns[r].end, r),
+        )
+        starts = [patterns[r].start for r in order]
+        ends = [patterns[r].end for r in order]
+        sizes = [patterns[r].nbytes for r in order]
     regions: list[Extent] = []
     region_start = lo
     acc_bytes = 0
     reach = lo  # furthest end among ranks added to the open group
     group_nodes: set[int] = set()
+    last = len(order) - 1
     for i, rank in enumerate(order):
-        p = patterns[rank]
-        acc_bytes += p.nbytes
-        reach = max(reach, p.end)
+        acc_bytes += sizes[i]
+        if ends[i] > reach:
+            reach = ends[i]
         group_nodes.add(placement[rank])
-        nxt = order[i + 1] if i + 1 < len(order) else None
-        if nxt is None:
+        if i == last:
             break
-        clean = patterns[nxt].start >= reach
+        clean = starts[i + 1] >= reach
         big_enough = acc_bytes >= msg_group
-        node_boundary = placement[nxt] not in group_nodes
+        node_boundary = placement[order[i + 1]] not in group_nodes
         if big_enough and clean and node_boundary:
             regions.append(Extent(region_start, reach - region_start))
             region_start = reach
@@ -128,6 +150,13 @@ def _interleaved_chunks(
 
 def _intervals_interleave(patterns: Sequence[AccessPattern]) -> bool:
     """True if any two ranks' bounding intervals overlap."""
+    if isinstance(patterns, PatternArray):
+        active = patterns.lengths > 0
+        starts = patterns.starts[active]
+        ends = patterns.ends[active]
+        order = np.lexsort((ends, starts))
+        starts, ends = starts[order], ends[order]
+        return bool((starts[1:] < ends[:-1]).any())
     intervals = sorted(
         (p.start, p.end) for p in patterns if not p.empty
     )
@@ -171,11 +200,18 @@ def divide_groups(
         raise ValueError("patterns and placement length mismatch")
     if msg_group < 1:
         raise ValueError("msg_group must be >= 1")
-    active = [p for p in patterns if not p.empty]
-    if not active:
-        return []
-    lo = min(p.start for p in active)
-    hi = max(p.end for p in active)
+    if isinstance(patterns, PatternArray):
+        if not patterns.any_active:
+            return []
+        n_active = int((patterns.lengths > 0).sum())
+        lo, hi = patterns.bounds()
+    else:
+        active = [p for p in patterns if not p.empty]
+        if not active:
+            return []
+        n_active = len(active)
+        lo = min(p.start for p in active)
+        hi = max(p.end for p in active)
 
     if mode == "interleaved":
         regions = _interleaved_chunks(msg_group, stripe_size, lo, hi)
@@ -188,7 +224,7 @@ def divide_groups(
         degenerate = (
             mode == "auto"
             and len(regions) == 1
-            and len(active) > 1
+            and n_active > 1
             and (hi - lo) > 2 * msg_group
             and _intervals_interleave(patterns)
         )

@@ -38,6 +38,7 @@ from repro.core.filedomain import FileDomain, even_domains
 from repro.core.group_division import divide_groups
 from repro.core.metrics import CollectiveStats, StatsCollector
 from repro.core.partition_tree import PartitionTree
+from repro.core.pattern_array import PatternArray
 from repro.core.plan_cache import PlanCache
 from repro.core.request import AccessPattern
 from repro.core.two_phase import default_aggregators
@@ -113,6 +114,18 @@ class MemoryConsciousCollectiveIO:
         self.pfs = pfs
         self.config = config if config is not None else MCIOConfig()
         self._rank_seq: dict[int, int] = {}
+        #: Floor for freshly seen ranks' sequence numbers: a vectorized
+        #: collective consumes one sequence slot for *all* ranks at once
+        #: (see :meth:`_advance_seq`), so later per-rank operations must
+        #: not collide with it.
+        self._seq_floor = 0
+        #: Fault injectors wired via :meth:`watch_faults`; a non-empty
+        #: schedule on any of them makes the planner refuse vectorization.
+        self._fault_injectors: list = []
+        #: One-shot refusal reason consumed by the next collector built:
+        #: set by the vectorized driver right before it falls back to the
+        #: per-rank path, so the fallback's stats carry the refusal.
+        self._pending_vec_refusal: Optional[str] = None
         self._plans: dict = {}
         self._stats: dict[int, StatsCollector] = {}
         #: Per-operation shared lease state (None for lease-free plans).
@@ -147,6 +160,7 @@ class MemoryConsciousCollectiveIO:
         server health), so reuse would be unsound.
         """
         injector.add_listener(self.plan_cache.on_fault_event)
+        self._fault_injectors.append(injector)
 
     # ------------------------------------------------------------------
     def write(self, ctx: RankContext, pattern: AccessPattern,
@@ -163,8 +177,24 @@ class MemoryConsciousCollectiveIO:
 
     # ------------------------------------------------------------------
     def _next_seq(self, rank: int) -> int:
-        seq = self._rank_seq.get(rank, 0)
+        seq = self._rank_seq.get(rank, self._seq_floor)
         self._rank_seq[rank] = seq + 1
+        return seq
+
+    def _advance_seq(self) -> int:
+        """Claim one sequence slot on behalf of every rank at once.
+
+        The vectorized driver runs a whole collective without per-rank
+        coroutines, so no rank's counter ticks; this takes the next free
+        slot past anything any rank has used and raises the floor so a
+        later per-rank collective starts beyond it.
+        """
+        seq = max(
+            self._seq_floor,
+            max(self._rank_seq.values(), default=self._seq_floor),
+        )
+        self._rank_seq.clear()
+        self._seq_floor = seq + 1
         return seq
 
     def _collective(self, ctx, pattern, payload, op):
@@ -220,20 +250,7 @@ class MemoryConsciousCollectiveIO:
                 patterns, memory_available, frozenset(failed_nodes)
             )
             self._plans[seq] = plan
-            collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
-            collector.n_groups = plan.n_groups if plan is not None else 1
-            collector.set_tier(tier)
-            collector.attach_pfs(self.pfs)
-            collector.record_plan_cache(
-                cached,
-                cache_stats=self.plan_cache.stats,
-                tree_queries=0 if cached else self.last_plan_tree_queries,
-            )
-            if reason is not None:
-                collector.extra["fallback_reason"] = reason
-            if self.auditor is not None:
-                collector.auditor = self.auditor
-            self._stats[seq] = collector
+            self._stats[seq] = self._make_collector(op, plan, tier, reason, cached)
             borrowed = plan is not None and any(
                 d.lender_node is not None for d in plan.domains
             )
@@ -245,6 +262,27 @@ class MemoryConsciousCollectiveIO:
                 else None
             )
         return self._plans[seq], self._stats[seq], self._borrows[seq]
+
+    def _make_collector(self, op, plan, tier, reason, cached) -> StatsCollector:
+        """Build one operation's collector (shared with the vectorized driver)."""
+        collector = StatsCollector(self.name, op, n_ranks=self.comm.size)
+        collector.n_groups = plan.n_groups if plan is not None else 1
+        collector.set_tier(tier)
+        collector.attach_pfs(self.pfs)
+        collector.record_plan_cache(
+            cached,
+            cache_stats=self.plan_cache.stats,
+            tree_queries=0 if cached else self.last_plan_tree_queries,
+        )
+        if reason is not None:
+            collector.extra["fallback_reason"] = reason
+        if self.auditor is not None:
+            collector.auditor = self.auditor
+        pending = self._pending_vec_refusal
+        if pending is not None:
+            self._pending_vec_refusal = None
+            collector.record_vectorized_refusal(pending)
+        return collector
 
     def _plan_or_reuse(self, patterns, memory_available, failed_nodes):
         """Plan via the cache: returns ``((plan, tier, reason), cached)``.
@@ -402,9 +440,16 @@ class MemoryConsciousCollectiveIO:
         self, patterns: Sequence[AccessPattern], failed_nodes: frozenset
     ) -> Optional[ExecutionPlan]:
         """ROMIO-style even plan restricted to live hosts, or None."""
-        active = [p for p in patterns if not p.empty]
-        if not active:
-            return ExecutionPlan((), (), n_groups=1)
+        if isinstance(patterns, PatternArray):
+            if not patterns.any_active:
+                return ExecutionPlan((), (), n_groups=1)
+            lo, hi = patterns.bounds()
+        else:
+            active = [p for p in patterns if not p.empty]
+            if not active:
+                return ExecutionPlan((), (), n_groups=1)
+            lo = min(p.start for p in active)
+            hi = max(p.end for p in active)
         aggs = [
             r
             for r in default_aggregators(self.comm.placement)
@@ -412,8 +457,6 @@ class MemoryConsciousCollectiveIO:
         ]
         if not aggs:
             return None
-        lo = min(p.start for p in active)
-        hi = max(p.end for p in active)
         stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
         extents = even_domains(lo, hi, len(aggs), stripe_size=stripe)
         domains = [
@@ -487,8 +530,20 @@ class MemoryConsciousCollectiveIO:
         for group in groups:
             members = group.ranks
 
-            def group_data(lo, hi, _members=members):
-                return sum(patterns[r].bytes_in(lo, hi) for r in _members)
+            if isinstance(patterns, PatternArray):
+                if len(members) == len(patterns):
+                    # one group spanning every rank — the common tiled
+                    # case; skip member indexing on each tree query
+                    def group_data(lo, hi):
+                        return patterns.sum_bytes_in(lo, hi)
+                else:
+                    members_arr = np.asarray(members, dtype=np.int64)
+
+                    def group_data(lo, hi, _members=members_arr):
+                        return patterns.sum_bytes_in(lo, hi, _members)
+            else:
+                def group_data(lo, hi, _members=members):
+                    return sum(patterns[r].bytes_in(lo, hi) for r in _members)
 
             # Size the partition to the group's feasible aggregator slots:
             # bisecting far below what memory-qualified hosts can absorb

@@ -85,6 +85,13 @@ class CollectiveStats:
     #: Intra-node leader bundles degraded to per-rank sends because the
     #: leader's node failed between election and ship.
     ina_fallbacks: int = 0
+    #: How this collective was simulated: ``"per-rank"`` coroutines (the
+    #: reference) or the node-level ``"vectorized"`` path (DESIGN.md §11).
+    execution_mode: str = "per-rank"
+    #: Times vectorization was requested but refused for this collective
+    #: (faults/borrow/failover demanded per-rank behaviour); the refusal
+    #: reason lands in ``extra["vectorized_refusal"]``.
+    vectorized_refusals: int = 0
 
     @property
     def bandwidth(self) -> float:
@@ -221,6 +228,8 @@ class CollectiveStats:
             "borrow_bytes": self.borrow_bytes,
             "borrow_fallbacks": self.borrow_fallbacks,
             "ina_fallbacks": self.ina_fallbacks,
+            "execution_mode": self.execution_mode,
+            "vectorized_refusals": self.vectorized_refusals,
         }
 
     @classmethod
@@ -267,6 +276,8 @@ class CollectiveStats:
             borrow_bytes=d.get("borrow_bytes", 0),
             borrow_fallbacks=d.get("borrow_fallbacks", 0),
             ina_fallbacks=d.get("ina_fallbacks", 0),
+            execution_mode=d.get("execution_mode", "per-rank"),
+            vectorized_refusals=d.get("vectorized_refusals", 0),
         )
 
 
@@ -350,6 +361,12 @@ class StatsCollector:
             "ina_fallbacks_total",
             "intra-node leader bundles degraded to per-rank sends",
         )
+        self._c_vec_refusals = self.registry.counter(
+            "vectorized_refusals_total",
+            "collectives that refused vectorization and ran per-rank",
+        )
+        #: Execution path that served this collective (DESIGN.md §11).
+        self.execution_mode = "per-rank"
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
         self.n_groups = 1
@@ -450,6 +467,10 @@ class StatsCollector:
     def ina_fallbacks(self) -> int:
         return self._c_ina_fallbacks.value()
 
+    @property
+    def vectorized_refusals(self) -> int:
+        return self._c_vec_refusals.value()
+
     # ------------------------------------------------------------------
     def mark_start(self, now: float) -> None:
         """Record the earliest entry time across ranks."""
@@ -522,6 +543,42 @@ class StatsCollector:
     def record_ina_fallback(self) -> None:
         """Count one leader bundle degraded to per-rank sends."""
         self._c_ina_fallbacks.inc(1)
+
+    def record_execution_mode(self, mode: str) -> None:
+        """Record which execution path served this collective."""
+        self.execution_mode = mode
+
+    def record_vectorized_refusal(self, reason: str) -> None:
+        """Count a refused vectorization and keep the why in ``extra``."""
+        self._c_vec_refusals.inc(1)
+        self.extra["vectorized_refusal"] = reason
+
+    def record_attempts(self, n: int) -> None:
+        """Bulk form of :meth:`record_attempt` for node-level execution.
+
+        The vectorized driver enters one execution attempt on behalf of
+        all ``n`` ranks at once; the auditor's per-``n_ranks`` snapshot
+        arithmetic must see the same call count as the per-rank path.
+        """
+        if self.auditor is None:
+            return
+        for _ in range(n):
+            self.auditor.on_attempt(self)
+
+    def record_shuffle_bulk(
+        self, nbytes: int, same_node: bool, same_group: bool = True
+    ) -> None:
+        """Account a whole node-group's shuffle traffic in one call.
+
+        Byte counters match a message-by-message accounting exactly; the
+        per-message size histogram sees one aggregate observation (it is
+        not part of :class:`CollectiveStats`).
+        """
+        path = "intra_node" if same_node else "inter_node"
+        self._c_shuffle.inc(nbytes, path=path)
+        self._h_shuffle_msg.observe(nbytes, path=path)
+        if not same_group:
+            self._c_shuffle.inc(nbytes, path="inter_group")
 
     def failed_nodes_snapshot(self, key, cluster) -> frozenset:
         """Failed-node set pinned by the first caller for `key`.
@@ -602,6 +659,8 @@ class StatsCollector:
             borrow_bytes=self.borrow_bytes,
             borrow_fallbacks=self.borrow_fallbacks,
             ina_fallbacks=self.ina_fallbacks,
+            execution_mode=self.execution_mode,
+            vectorized_refusals=self.vectorized_refusals,
         )
         if self.auditor is not None:
             self.auditor.on_finalize(self, final)

@@ -81,11 +81,28 @@ def run_collective(
     patterns: Sequence[AccessPattern],
     ops: Sequence[str] = ("write", "read"),
 ) -> list[CollectiveStats]:
-    """Run `ops` back to back on `platform` and return their stats."""
+    """Run `ops` back to back on `platform` and return their stats.
+
+    MCIO engines configured with ``execution_mode`` ``"vectorized"`` or
+    ``"auto"`` dispatch to the node-level driver
+    (:func:`~repro.core.vectorized.run_vectorized_collective`); it falls
+    back to the per-rank path on its own whenever faults, leases or the
+    data plane demand per-rank coroutines.
+    """
     if len(patterns) != platform.comm.size:
         raise ValueError(
             f"{len(patterns)} patterns for {platform.comm.size} ranks"
         )
+
+    if (
+        isinstance(engine, MemoryConsciousCollectiveIO)
+        and engine.config.execution_mode in ("vectorized", "auto")
+    ):
+        from repro.core.vectorized import run_vectorized_collective
+
+        for op in ops:
+            run_vectorized_collective(engine, patterns, op)
+        return list(engine.history[-len(ops):])
 
     def main(ctx):
         pattern = patterns[ctx.rank]

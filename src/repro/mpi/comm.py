@@ -81,19 +81,28 @@ class RankContext:
 
 
 class CommGroup:
-    """An ordered subset of world ranks with its own collective context."""
+    """An ordered subset of world ranks with its own collective context.
+
+    A ``range`` is accepted and kept as-is: the world group of a
+    million-rank communicator must not materialise a million-entry tuple
+    and rank->index dict just to answer O(1) membership questions.
+    """
 
     _next_gid = 1
 
     def __init__(self, ranks: Sequence[int], gid: Optional[int] = None):
-        self.ranks = tuple(ranks)
-        if len(set(self.ranks)) != len(self.ranks):
-            raise ValueError("duplicate ranks in group")
+        if isinstance(ranks, range):
+            self.ranks: Sequence[int] = ranks
+            self._index: Optional[dict[int, int]] = None
+        else:
+            self.ranks = tuple(ranks)
+            if len(set(self.ranks)) != len(self.ranks):
+                raise ValueError("duplicate ranks in group")
+            self._index = {r: i for i, r in enumerate(self.ranks)}
         if gid is None:
             gid = CommGroup._next_gid
             CommGroup._next_gid += 1
         self.gid = gid
-        self._index = {r: i for i, r in enumerate(self.ranks)}
 
     @property
     def size(self) -> int:
@@ -102,13 +111,34 @@ class CommGroup:
 
     def index_of(self, rank: int) -> int:
         """Position of `rank` inside the group."""
+        if self._index is None:
+            return self.ranks.index(rank)  # range.index is O(1)
         return self._index[rank]
 
     def __contains__(self, rank: int) -> bool:
+        if self._index is None:
+            return rank in self.ranks  # range membership is O(1)
         return rank in self._index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CommGroup gid={self.gid} size={self.size}>"
+
+
+class _LazyDequeMap(dict):
+    """``{rank: deque}`` materialising entries on first touch.
+
+    Mailboxes and receive-post queues used to be dense
+    ``list[deque]``s; at 10^6 ranks that is a million deques allocated
+    up front even though the vectorized execution path never runs a
+    single rank coroutine.  Indexing semantics are unchanged — every
+    access site indexes a specific rank, nothing iterates the map.
+    """
+
+    __slots__ = ()
+
+    def __missing__(self, rank):
+        value = self[rank] = deque()
+        return value
 
 
 @dataclass
@@ -152,13 +182,13 @@ class SimComm:
         self.placement = list(placement)
         self.size = len(placement)
         self.metadata_bandwidth = float(metadata_bandwidth)
-        self.world = CommGroup(tuple(range(self.size)), gid=0)
-        self._mail: list[deque[Message]] = [deque() for _ in range(self.size)]
-        self._recv_posts: list[deque[tuple[Event, Any, Any]]] = [
-            deque() for _ in range(self.size)
-        ]
+        self.world = CommGroup(range(self.size), gid=0)
+        self._mail: Mapping[int, deque[Message]] = _LazyDequeMap()
+        self._recv_posts: Mapping[int, deque[tuple[Event, Any, Any]]] = (
+            _LazyDequeMap()
+        )
         #: Counting receives posted by :meth:`recv_many`, per rank.
-        self._drain_posts: list[deque[list]] = [deque() for _ in range(self.size)]
+        self._drain_posts: Mapping[int, deque[list]] = _LazyDequeMap()
         self._coll_state: dict[tuple[str, int, int], _CollectiveState] = {}
         self._coll_seq: dict[tuple[int, str, int], int] = {}
         #: In-flight :meth:`staged_batched_send` rendezvous, by caller key.

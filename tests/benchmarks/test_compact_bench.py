@@ -1,0 +1,86 @@
+"""Regression tests for the compact-bench CLI's missing-file path.
+
+The CI benchmarks job compares the fresh BENCH_N.json against the
+previous trajectory point.  On the very first run of a new point — or
+when the CI cache of the prior file misses — that previous file simply
+does not exist, and the compare step used to stack-trace with
+``FileNotFoundError``.  A missing *prior* point is an expected state,
+not an input error: the step must note it and exit 0 so the new point
+still lands.  A missing *new* file, by contrast, means the benchmark
+run itself failed and must stay an error.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parents[2] / "benchmarks" / "compact_bench.py"
+_spec = importlib.util.spec_from_file_location("compact_bench", _SCRIPT)
+compact_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compact_bench)
+
+
+def write_compact(path: Path, medians: dict[str, float]) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "datetime": "2026-01-01T00:00:00",
+                "benchmarks": [
+                    {"name": name, "median": median, "stddev": 0.0, "rounds": 5}
+                    for name, median in medians.items()
+                ],
+            }
+        )
+    )
+
+
+def test_compare_missing_prior_exits_clean(tmp_path, capsys):
+    new = tmp_path / "BENCH_7.json"
+    write_compact(new, {"test_kernel": 0.01})
+    missing = tmp_path / "BENCH_6.json"
+
+    rc = compact_bench.main(["compare", str(missing), str(new)])
+
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "skipping comparison" in out
+    assert str(missing) in out
+
+
+def test_compare_missing_prior_with_markdown_flag(tmp_path, capsys):
+    """The CI invocation passes --markdown; the guard must fire first."""
+    new = tmp_path / "BENCH_7.json"
+    write_compact(new, {"test_kernel": 0.01})
+
+    rc = compact_bench.main(
+        ["compare", str(tmp_path / "nope.json"), str(new), "--markdown"]
+    )
+
+    assert rc == 0
+    assert "skipping comparison" in capsys.readouterr().out
+
+
+def test_compare_still_compares_when_both_exist(tmp_path, capsys):
+    old = tmp_path / "BENCH_6.json"
+    new = tmp_path / "BENCH_7.json"
+    write_compact(old, {"test_kernel": 0.010})
+    write_compact(new, {"test_kernel": 0.011})
+
+    rc = compact_bench.main(["compare", str(old), str(new)])
+
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "test_kernel" in out
+    assert "no median regressions" in out
+
+
+def test_compare_missing_new_is_still_an_error(tmp_path):
+    old = tmp_path / "BENCH_6.json"
+    write_compact(old, {"test_kernel": 0.01})
+
+    with pytest.raises(FileNotFoundError):
+        compact_bench.main(["compare", str(old), str(tmp_path / "gone.json")])

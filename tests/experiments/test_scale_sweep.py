@@ -1,0 +1,61 @@
+"""The scale-sweep CLI: ladder construction, cell records, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.scale_sweep import main, rank_ladder, run_point
+
+
+def test_rank_ladder_geometric_and_capped():
+    assert rank_ladder(1_000_000) == [1000, 10_000, 100_000, 1_000_000]
+    assert rank_ladder(100_000) == [1000, 10_000, 100_000]
+    # a non-decade target is still the top of the ladder
+    assert rank_ladder(2500) == [1000, 2500]
+    assert rank_ladder(1000) == [1000]
+    assert rank_ladder(7) == [7]
+    with pytest.raises(ValueError):
+        rank_ladder(0)
+
+
+def test_run_point_vectorizes_and_reports():
+    rows = run_point(
+        n_ranks=2048, ranks_per_node=64, bytes_per_rank=256 * 1024
+    )
+    assert [r["op"] for r in rows] == ["write", "read"]
+    for row in rows:
+        assert row["execution_mode"] == "vectorized"
+        assert row["vectorized_refusals"] == 0
+        assert row["nodes"] == 32
+        assert row["total_bytes"] == 2048 * 256 * 1024
+        assert row["n_aggregators"] > 0
+        assert row["bandwidth_mib_s"] > 0
+
+
+def test_cli_smoke_writes_json_and_exits_zero(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    rc = main(
+        [
+            "--ranks", "2000",
+            "--ranks-per-node", "64",
+            "--time-budget", "120",
+            "--ops", "write",
+            "--json", str(out),
+        ]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["target_ranks"] == 2000
+    assert [c["ranks"] for c in data["cells"]] == [1000, 2000]
+    assert all(c["execution_mode"] == "vectorized" for c in data["cells"])
+    assert "Vectorized scale projection" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_over_budget(capsys):
+    rc = main(
+        ["--ranks", "1000", "--ops", "write", "--time-budget", "0.0"]
+    )
+    assert rc == 1
+    assert "over the" in capsys.readouterr().err

@@ -1,0 +1,38 @@
+"""Regenerate the vectorized-mode golden fixtures.
+
+Run from the repository root **on a known-good driver** (normally the
+commit *before* a vectorized-path change lands)::
+
+    PYTHONPATH=src python -m tests.goldens.generate_vectorized
+
+Writes ``tests/goldens/goldens_vectorized.json``.  The replay test
+(``tests/core/test_vectorized_golden.py``) then pins every later driver
+to these recorded values bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.goldens.vectorized_cases import (
+    all_vectorized_cells,
+    run_vectorized_case,
+    vectorized_case_id,
+)
+
+GOLDEN_PATH = Path(__file__).with_name("goldens_vectorized.json")
+
+
+def main() -> None:
+    records = {}
+    for case, op in all_vectorized_cells():
+        key = vectorized_case_id(case, op)
+        records[key] = run_vectorized_case(case, op)
+        print(f"recorded {key}")
+    GOLDEN_PATH.write_text(json.dumps(records, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(records)} cases)")
+
+
+if __name__ == "__main__":
+    main()

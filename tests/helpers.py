@@ -78,3 +78,111 @@ def rank_payload(rank: int, nbytes: int) -> np.ndarray:
     """Deterministic per-rank byte pattern (verifiable after a roundtrip)."""
     idx = np.arange(nbytes, dtype=np.int64)
     return ((idx * 31 + rank * 97 + 13) % 251).astype(np.uint8)
+
+
+# ---------------------------------------------------------------------------
+# differential harness: per-rank reference vs vectorized driver
+# ---------------------------------------------------------------------------
+
+#: CollectiveStats fields the vectorized driver must reproduce exactly.
+#: Excluded by design: ``elapsed`` (node-level timing is pinned by its
+#: own goldens, not by per-rank equality), the ``plan_cache*`` counters
+#: (a refused-then-fallen-back run can see one extra lookup) and the
+#: execution-mode fields themselves.
+EQUIVALENT_FIELDS = (
+    "strategy",
+    "op",
+    "total_bytes",
+    "n_ranks",
+    "n_aggregators",
+    "aggregator_ranks",
+    "agg_buffer_bytes",
+    "agg_overcommit_bytes",
+    "paged_aggregators",
+    "rounds_total",
+    "shuffle_intra_node_bytes",
+    "shuffle_inter_node_bytes",
+    "shuffle_inter_group_bytes",
+    "n_groups",
+    "degraded_tier",
+    "io_retries",
+    "io_abandons",
+    "failovers",
+    "leases_granted",
+    "leases_renewed",
+    "leases_revoked",
+    "leases_expired",
+    "borrow_bytes",
+    "borrow_fallbacks",
+    "ina_fallbacks",
+)
+
+
+def assert_stats_equivalent(reference, candidate, fields=EQUIVALENT_FIELDS):
+    """Field-by-field equality of two CollectiveStats (see EQUIVALENT_FIELDS)."""
+    diffs = []
+    for name in fields:
+        a, b = getattr(reference, name), getattr(candidate, name)
+        if a != b:
+            diffs.append(f"{name}: reference={a!r} candidate={b!r}")
+    assert not diffs, "stats diverge:\n  " + "\n  ".join(diffs)
+
+
+def run_differential(
+    patterns,
+    mcio_config,
+    op: str = "write",
+    n_ranks: int = 12,
+    n_nodes: int = 3,
+    cores: int = 4,
+    memory_bytes: int = 10**9,
+    audit: bool = True,
+    memory_availability=None,
+    **stack_kwargs,
+):
+    """Run one workload per-rank and vectorized on twin stacks.
+
+    Returns ``(reference_stats, vectorized_stats, ref_auditor, vec_auditor)``.
+    Both stacks are built identically (metadata-only: the vectorized
+    driver refuses a data plane); the reference runs the classic SPMD
+    path, the candidate the node-level driver.  `memory_availability`
+    (a per-node byte tuple) pins each node's available memory before
+    planning, like the golden cases do.
+    """
+    from dataclasses import replace
+
+    from repro.core import MemoryConsciousCollectiveIO
+    from repro.core.audit import ConservationAuditor
+    from repro.core.vectorized import run_vectorized_collective
+
+    results = []
+    for mode in ("per-rank", "vectorized"):
+        stack = make_stack(
+            n_ranks=n_ranks,
+            n_nodes=n_nodes,
+            cores=cores,
+            memory_bytes=memory_bytes,
+            with_data=False,
+            **stack_kwargs,
+        )
+        if memory_availability is not None:
+            stack.cluster.set_memory_availability(memory_availability)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm,
+            stack.pfs,
+            replace(mcio_config, execution_mode=mode),
+        )
+        auditor = ConservationAuditor() if audit else None
+        if auditor is not None:
+            auditor.attach(engine)
+        if mode == "vectorized":
+            run_vectorized_collective(engine, patterns, op)
+        else:
+            def main(ctx):
+                fn = engine.write if op == "write" else engine.read
+                yield from fn(ctx, patterns[ctx.rank])
+
+            stack.run_spmd(main)
+        results.append((engine.history[-1], auditor))
+    (ref, ref_aud), (vec, vec_aud) = results
+    return ref, vec, ref_aud, vec_aud

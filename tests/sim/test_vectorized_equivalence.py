@@ -1,0 +1,171 @@
+"""Differential harness: per-rank reference vs node-level vectorized driver.
+
+The equivalence contract (DESIGN.md §11): for fault-free, lease-free,
+metadata-only collectives the vectorized driver must reproduce every
+deterministic accounting field of the per-rank reference — bytes,
+rounds, aggregator placements, shuffle locality split, tiers, groups —
+and must feed the byte-conservation auditor an identical
+attempt/extent/shuffle record.  Only ``elapsed`` (pinned separately by
+the vectorized goldens), the plan-cache counters, and the
+execution-mode fields themselves may differ.
+
+The matrix here reuses the golden-trace cluster cases (uniform memory,
+skewed pressure with remerges, tiny paged memory) so the differential
+coverage tracks the same regimes the bit-exact goldens pin, plus the
+fallback cells: a vectorized engine refused by the data plane must
+reproduce the recorded per-rank goldens *bit for bit*, timing included.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import MCIOConfig
+
+from tests.goldens.cases import (
+    CLUSTER_CASES,
+    build_patterns,
+    case_id,
+    run_case,
+)
+from tests.helpers import assert_stats_equivalent, run_differential
+
+GOLDENS = pathlib.Path(__file__).parent.parent / "goldens" / "goldens.json"
+
+CASES = {c.name: c for c in CLUSTER_CASES}
+
+
+def case_config(case, **overrides) -> MCIOConfig:
+    """The MCIO configuration the golden matrix pins for `case`."""
+    kwargs = dict(
+        msg_group=16 * 1024,
+        msg_ind=2 * 1024,
+        mem_min=0,
+        nah=2,
+        cb_buffer_size=case.cb_buffer_size,
+        min_buffer=1,
+        shuffle_granularity=case.granularity,
+    )
+    kwargs.update(overrides)
+    return MCIOConfig(**kwargs)
+
+
+def run_case_differential(case, op, **config_overrides):
+    patterns = build_patterns(case)
+    return run_differential(
+        patterns,
+        case_config(case, **config_overrides),
+        op=op,
+        n_ranks=case.n_ranks,
+        n_nodes=case.n_nodes,
+        cores=case.cores,
+        memory_availability=case.memory_availability,
+        stripe_size=case.stripe_size,
+    ), patterns
+
+
+@pytest.mark.parametrize("case_name", sorted(CASES))
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_stats_equivalent_on_golden_matrix(case_name, op):
+    """Every golden cluster case: field-exact CollectiveStats equality."""
+    case = CASES[case_name]
+    (ref, vec, _, _), _ = run_case_differential(case, op)
+    assert ref.execution_mode == "per-rank"
+    assert vec.execution_mode == "vectorized"
+    assert vec.vectorized_refusals == 0
+    assert_stats_equivalent(ref, vec)
+
+
+@pytest.mark.parametrize("case_name", sorted(CASES))
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_audit_records_equivalent(case_name, op):
+    """Both paths feed the conservation auditor the same record."""
+    case = CASES[case_name]
+    (ref, vec, ref_aud, vec_aud), patterns = run_case_differential(case, op)
+    ref_rec = ref_aud.verify(patterns)
+    vec_rec = vec_aud.verify(patterns)
+    assert ref_rec.attempts == vec_rec.attempts == 1
+    assert ref_rec.extents == vec_rec.extents
+    assert ref_rec.final_attempt_shuffle == vec_rec.final_attempt_shuffle
+
+
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_plan_cache_hit_parity(op):
+    """Back-to-back ops: the second hits the plan cache in both modes."""
+    case = CASES["uniform"]
+    (ref, vec, _, _), _ = run_case_differential(case, op, plan_cache=True)
+    assert_stats_equivalent(ref, vec)
+
+
+@pytest.mark.parametrize("case_name", sorted(CASES))
+@pytest.mark.parametrize("op", ["write", "read"])
+def test_data_plane_fallback_is_bit_identical_to_goldens(case_name, op):
+    """A vectorized engine refused by the data plane replays the golden.
+
+    With a datastore attached the driver must fall back to the per-rank
+    path — and that fallback has to reproduce the recorded per-rank
+    golden exactly: simulated clock, datastore image, and every stats
+    field.  The only permitted delta is the refusal annotation in
+    ``extra``.
+    """
+    import hashlib
+
+    import numpy as np
+
+    from repro.core import MemoryConsciousCollectiveIO
+    from repro.core.vectorized import run_vectorized_collective
+
+    from tests.goldens.cases import (
+        _prefill,
+        make_engine,
+        stats_to_jsonable,
+    )
+    from tests.helpers import make_stack, rank_payload
+
+    case = CASES[case_name]
+    stored = json.loads(GOLDENS.read_text())[case_id("mcio", op, case)]
+    patterns = build_patterns(case)
+    stack = make_stack(
+        n_ranks=case.n_ranks,
+        n_nodes=case.n_nodes,
+        cores=case.cores,
+        stripe_size=case.stripe_size,
+    )
+    if case.memory_availability is not None:
+        stack.cluster.set_memory_availability(case.memory_availability)
+    engine = make_engine(
+        "mcio", stack, case, mcio_overrides={"execution_mode": "vectorized"}
+    )
+    assert isinstance(engine, MemoryConsciousCollectiveIO)
+    end = max(p.end for p in patterns if not p.empty)
+    if op == "write":
+        payloads = [
+            rank_payload(r, patterns[r].nbytes).copy()
+            for r in range(case.n_ranks)
+        ]
+    else:
+        _prefill(stack.pfs.datastore, end)
+        payloads = None
+
+    stats = run_vectorized_collective(engine, patterns, op, payloads=payloads)
+    assert stats.execution_mode == "per-rank"
+    assert stats.vectorized_refusals == 1
+
+    image = np.asarray(stack.pfs.datastore.read(0, end), dtype=np.uint8)
+    assert float(stack.env.now).hex() == stored["final_now_hex"]
+    assert hashlib.sha256(image.tobytes()).hexdigest() == stored["datastore_sha256"]
+    got = stats_to_jsonable(engine.history[0])
+    want = dict(stored["stats"])
+    got_extra, want_extra = got.pop("extra"), want.pop("extra")
+    assert got == want
+    assert got_extra.pop("vectorized_refusal") == "data-plane"
+    assert got_extra == want_extra
+
+
+def test_per_rank_mode_never_invokes_driver():
+    """execution_mode="per-rank" (the default) is untouched by this PR."""
+    cfg = case_config(CASES["uniform"])
+    assert cfg.execution_mode == "per-rank"
