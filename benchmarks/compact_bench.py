@@ -9,7 +9,9 @@ compact form::
     python benchmarks/compact_bench.py compact BENCH_FULL.json -o BENCH_6.json
 
 which keeps just ``{name, median, stddev, rounds}`` per benchmark, plus
-the source's datetime for provenance.  The companion subcommand::
+the source's datetime and a ``machine`` stamp (host name and core
+count, lifted from pytest-benchmark's own ``machine_info``) for
+provenance.  The companion subcommand::
 
     python benchmarks/compact_bench.py compare BENCH_3.json BENCH_6.json --markdown
 
@@ -41,11 +43,27 @@ from pathlib import Path
 DEFAULT_THRESHOLD = 1.25
 
 
+def _machine_label(data: dict) -> dict | None:
+    """``{node, cpu_count}`` from a full file's ``machine_info`` or a
+    compact file's own ``machine`` stamp; None when the source carries
+    neither (old trajectory points predate the stamp)."""
+    if isinstance(data.get("machine"), dict):
+        return data["machine"]
+    info = data.get("machine_info")
+    if not isinstance(info, dict):
+        return None
+    cpu = info.get("cpu")
+    count = cpu.get("count") if isinstance(cpu, dict) else None
+    label = {"node": info.get("node"), "cpu_count": count}
+    return label if any(v is not None for v in label.values()) else None
+
+
 def load_records(path: Path) -> dict:
     """Read `path` (full pytest-benchmark or compact form) → compact dict.
 
     Returns ``{"datetime": ..., "benchmarks": [{name, median, stddev,
-    rounds}, ...]}`` with benchmarks sorted by name.
+    rounds}, ...]}`` with benchmarks sorted by name, plus a ``machine``
+    stamp when the source identifies one.
     """
     with path.open() as fh:
         data = json.load(fh)
@@ -66,7 +84,11 @@ def load_records(path: Path) -> dict:
         except KeyError as exc:
             raise ValueError(f"{path}: benchmark entry missing {exc}") from exc
     records.sort(key=lambda r: r["name"])
-    return {"datetime": data.get("datetime"), "benchmarks": records}
+    compact = {"datetime": data.get("datetime"), "benchmarks": records}
+    machine = _machine_label(data)
+    if machine is not None:
+        compact["machine"] = machine
+    return compact
 
 
 def cmd_compact(args: argparse.Namespace) -> int:
@@ -146,6 +168,25 @@ def render_table(rows: list[dict], markdown: bool) -> str:
     return "\n".join(lines)
 
 
+def machine_mismatch_note(old: dict, new: dict) -> str | None:
+    """Warn-only note when two trajectory points come from different
+    hosts or core counts — their ratios measure the machines as much as
+    the code.  None when either side predates the stamp or they match."""
+    mo, mn = old.get("machine"), new.get("machine")
+    if not mo or not mn or mo == mn:
+        return None
+
+    def fmt(m: dict) -> str:
+        cores = m.get("cpu_count")
+        return f"{m.get('node') or '?'} ({cores if cores else '?'} cores)"
+
+    return (
+        f"note: trajectory points come from different machines — "
+        f"{fmt(mo)} vs {fmt(mn)} — so medians may not be directly "
+        "comparable (warn-only)"
+    )
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     if not args.old.exists():
         # first run of a new trajectory point, or the CI cache of the
@@ -165,6 +206,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print("### Benchmark medians vs previous trajectory point\n")
     print(render_table(rows, markdown=args.markdown))
     print()
+    note = machine_mismatch_note(old, new)
+    if note:
+        print(note)
     if regressed:
         names = ", ".join(f"`{r['name']}`" for r in regressed)
         print(

@@ -1,0 +1,97 @@
+"""Benchmark tier for the process-parallel execution paths.
+
+Three cells pin the sharding story on the trajectory:
+
+* a reduced resilience chaos sweep through the serial cell loop — the
+  baseline the parallel runner must beat;
+* the same sweep fanned across 4 workers — on a multi-core runner the
+  ratio of these two medians is the cell-sharding speedup (the issue's
+  target is >=3x at jobs=4).  The ratio is *recorded*, not asserted:
+  it measures the runner's core count as much as the code, and on a
+  single-core machine (CI fallback, this container) the two medians
+  legitimately coincide.  The compare step's machine stamp flags such
+  runs;
+* one multi-group collective through the group-sharded driver at
+  jobs=2, against its per-rank reference — the group-sharding overhead
+  floor (worker fork + spec pickling + stats merge).
+
+Functional results are asserted so a silent fallback to the serial
+path fails loudly rather than just slowly.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=BENCH_FULL.json
+"""
+
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO
+from repro.core.request import AccessPattern
+from repro.experiments import resilience
+from repro.parallel import run_sharded_collective
+
+KIB = 1024
+
+#: Reduced chaos sweep: 3 rates x 3 strategies = 9 cells, ~2s serial.
+CHAOS = dict(fault_rates=(0.0, 0.5, 1.0), n_ranks=8, n_nodes=2,
+             payload_kib=256, horizon=6.0)
+
+
+def _check_chaos(result) -> int:
+    assert len(result.points) == 9
+    assert {p.strategy for p in result.points} == {
+        "two-phase", "mcio-static", "mcio"
+    }
+    return len(result.points)
+
+
+def test_chaos_sweep_serial(benchmark):
+    """Baseline: the reduced resilience sweep through the serial loop."""
+    assert _check_chaos(benchmark(lambda: resilience.run(**CHAOS))) == 9
+
+
+def test_chaos_sweep_jobs4(benchmark):
+    """The same sweep fanned across 4 worker processes.
+
+    median(serial) / median(jobs4) is the trajectory's cell-sharding
+    speedup figure; compare it across BENCH_N points with the machine
+    stamp in mind.
+    """
+    result = benchmark(lambda: resilience.run(jobs=4, **CHAOS))
+    _check_chaos(result)
+    # parallel cells must reproduce the serial sweep exactly
+    serial = resilience.run(**CHAOS)
+
+    def flat(res):
+        return [
+            (p.fault_rate, p.strategy, p.outages, p.node_failures,
+             p.completed, p.stats.to_json())
+            for p in res.points
+        ]
+
+    assert flat(result) == flat(serial)
+
+
+def test_group_sharded_collective_jobs2(benchmark):
+    """One 4-group collective through the sharded driver (fork + merge
+    overhead floor; the per-rank reference for the same plan is the
+    golden-matrix differential suite's job, not a timing cell)."""
+    n_ranks, tile = 8, 64 * KIB
+    patterns = [
+        AccessPattern.contiguous(r * tile, tile) for r in range(n_ranks)
+    ]
+    config = MCIOConfig(
+        msg_group=2 * tile, msg_ind=tile // 2, mem_min=0, nah=1,
+        cb_buffer_size=16 * KIB, min_buffer=1,
+    )
+
+    def run():
+        from tests.helpers import make_stack
+
+        stack = make_stack(n_ranks=n_ranks, n_nodes=4, cores=2,
+                           with_data=False)
+        engine = MemoryConsciousCollectiveIO(stack.comm, stack.pfs, config)
+        stats = run_sharded_collective(engine, patterns, "write", jobs=2)
+        assert stats.execution_mode == "sharded"
+        assert stats.sharding_refusals == 0
+        return stats.total_bytes
+
+    assert benchmark(run) == n_ranks * tile

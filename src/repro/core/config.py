@@ -44,7 +44,7 @@ __all__ = [
 
 ShuffleGranularity = Literal["round", "batched", "domain"]
 PlacementPolicy = Literal["remerge", "borrow", "hybrid"]
-ExecutionMode = Literal["per-rank", "vectorized", "auto"]
+ExecutionMode = Literal["per-rank", "vectorized", "auto", "sharded"]
 
 
 def _check_common(cb_buffer_size: int, shuffle_granularity: str) -> None:
@@ -215,6 +215,15 @@ class MCIOConfig:
           Both spellings behave identically today; ``"auto"`` documents
           intent ("vectorize when safe") for callers that never want a
           hard requirement.
+        * ``"sharded"`` — independent aggregation groups are partitioned
+          across worker *processes* (DESIGN.md §12), each running the
+          per-rank reference on a sub-Environment, with deterministic
+          stats/timeline merging.  Refuses per collective (counting the
+          refusal in
+          :attr:`~repro.core.metrics.CollectiveStats.sharding_refusals`)
+          whenever the plan yields fewer than two groups, a node hosts
+          domains from several groups, or faults/leases/data-plane
+          demand a single per-rank simulation.
     """
 
     msg_group: int = 256 * MIB
@@ -266,5 +275,7 @@ class MCIOConfig:
             raise ValueError("lease_backoff_cap must be >= lease_backoff_base")
         if self.lend_headroom < 0:
             raise ValueError("lend_headroom must be >= 0")
-        if self.execution_mode not in ("per-rank", "vectorized", "auto"):
+        if self.execution_mode not in (
+            "per-rank", "vectorized", "auto", "sharded"
+        ):
             raise ValueError(f"bad execution_mode {self.execution_mode!r}")

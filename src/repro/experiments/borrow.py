@@ -235,6 +235,15 @@ def _run_cell(
     return point, stats.elapsed
 
 
+def _cell_tuple(cell):
+    """Picklable wrapper around :func:`_run_cell` for cell sharding."""
+    policy, regime, fault, n_ranks, n_nodes, nbytes, seed, fault_at = cell
+    return _run_cell(
+        policy, regime, fault, n_ranks, n_nodes, nbytes, seed,
+        fault_at=fault_at,
+    )
+
+
 def run(
     n_ranks: int = 12,
     n_nodes: int = 3,
@@ -244,31 +253,65 @@ def run(
     policies=POLICIES,
     regimes=REGIMES,
     tracer=None,
+    jobs=1,
 ) -> BorrowResult:
     """Sweep every (regime, fault, policy) cell.
 
     Fault cells reuse the fault-free probe's elapsed time to aim the
     lender fault at ≈45 % of the collective, i.e. mid-round for every
     policy.  Cells are fully independent platforms built from `seed`.
+
+    `jobs` fans cells out across worker processes in two waves — all
+    fault-free probes first (fault cells need their elapsed times),
+    then all fault cells — reassembled in the serial order, so results
+    are identical at any jobs count.  A tracer forces the serial path.
     """
+    from repro.parallel import ParallelRunner, resolve_jobs
+
     nbytes = payload_kib * KIB
-    points: list[BorrowPoint] = []
-    for regime in regimes:
-        for policy in policies:
-            probe, elapsed = _run_cell(
-                policy, regime, "none", n_ranks, n_nodes, nbytes, seed,
-                fault_at=None, tracer=tracer if "none" in faults else None,
+    pairs = [(regime, policy) for regime in regimes for policy in policies]
+    fault_kinds = tuple(f for f in faults if f != "none")
+
+    if tracer is None and resolve_jobs(jobs) > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            probes = runner.map(
+                _cell_tuple,
+                [
+                    (policy, regime, "none", n_ranks, n_nodes, nbytes, seed,
+                     None)
+                    for regime, policy in pairs
+                ],
             )
+            fault_cells = [
+                (policy, regime, fault, n_ranks, n_nodes, nbytes, seed,
+                 elapsed * 0.45)
+                for (regime, policy), (_, elapsed) in zip(pairs, probes)
+                for fault in fault_kinds
+            ]
+            fault_points = iter(
+                p for p, _ in runner.map(_cell_tuple, fault_cells)
+            )
+        points: list[BorrowPoint] = []
+        for (regime, policy), (probe, _) in zip(pairs, probes):
             if "none" in faults:
                 points.append(probe)
-            for fault in faults:
-                if fault == "none":
-                    continue
-                point, _ = _run_cell(
-                    policy, regime, fault, n_ranks, n_nodes, nbytes, seed,
-                    fault_at=elapsed * 0.45, tracer=tracer,
-                )
-                points.append(point)
+            points.extend(next(fault_points) for _ in fault_kinds)
+        return BorrowResult(points)
+
+    points = []
+    for regime, policy in pairs:
+        probe, elapsed = _run_cell(
+            policy, regime, "none", n_ranks, n_nodes, nbytes, seed,
+            fault_at=None, tracer=tracer if "none" in faults else None,
+        )
+        if "none" in faults:
+            points.append(probe)
+        for fault in fault_kinds:
+            point, _ = _run_cell(
+                policy, regime, fault, n_ranks, n_nodes, nbytes, seed,
+                fault_at=elapsed * 0.45, tracer=tracer,
+            )
+            points.append(point)
     return BorrowResult(points)
 
 
@@ -292,6 +335,11 @@ def main(argv=None) -> None:
         "--faults", metavar="LIST", default=",".join(FAULTS),
         help=f"comma-separated fault subset of {FAULTS}",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep cells "
+        "(0 = one per core; ignored with --trace-out)",
+    )
     args = parser.parse_args(argv)
 
     faults = tuple(f for f in args.faults.split(",") if f)
@@ -304,7 +352,7 @@ def main(argv=None) -> None:
         from repro.obs import Tracer
 
         tracer = Tracer(capacity=1 << 20)
-    result = run(faults=faults, tracer=tracer)
+    result = run(faults=faults, tracer=tracer, jobs=args.jobs)
     print(result.render())
     bad = [p for p in result.points if not (p.image_ok and p.audit_ok)]
     if args.json_out:

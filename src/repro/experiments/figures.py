@@ -111,8 +111,12 @@ class FigureResult:
         return issues
 
 
-def run_figure(config: FigureConfig, tracer=None) -> FigureResult:
-    """Execute a figure's sweep (optionally tracing every point)."""
+def run_figure(config: FigureConfig, tracer=None, jobs=1) -> FigureResult:
+    """Execute a figure's sweep (optionally tracing every point).
+
+    `jobs` fans the sweep's independent (buffer, strategy) cells out
+    across worker processes (``1`` = serial; a tracer forces serial).
+    """
     points = run_memory_sweep(
         spec=config.spec,
         patterns=config.patterns(),
@@ -122,6 +126,7 @@ def run_figure(config: FigureConfig, tracer=None) -> FigureResult:
         mcio_config=config.mcio,
         granularity=config.granularity,
         tracer=tracer,
+        jobs=jobs,
     )
     return FigureResult(config=config, points=points)
 
@@ -150,6 +155,14 @@ def figure_cli(
         default=None,
         help="export a Chrome/Perfetto trace of the whole sweep to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent sweep cells "
+        "(0 = one per core; ignored with --trace-out)",
+    )
     args = parser.parse_args(argv)
     factory = small_factory if args.scale == "small" else paper_factory
     config = factory(seed=args.seed)
@@ -158,7 +171,7 @@ def figure_cli(
         from repro.obs import Tracer
 
         tracer = Tracer(capacity=1 << 20)
-    result = run_figure(config, tracer=tracer)
+    result = run_figure(config, tracer=tracer, jobs=args.jobs)
     print(result.render())
     if tracer is not None:
         from repro.obs import write_chrome

@@ -34,10 +34,19 @@ from repro.core import (
 from repro.core.request import AccessPattern
 from repro.mpi import SimComm
 from repro.obs import Tracer
+from repro.parallel import ParallelRunner, cell_seed, resolve_jobs
 from repro.pfs import ParallelFileSystem, SparseFile
 from repro.sim import Environment, RngFactory
 
-__all__ = ["Platform", "SweepPoint", "run_collective", "run_memory_sweep"]
+__all__ = [
+    "ParallelRunner",
+    "Platform",
+    "SweepPoint",
+    "cell_seed",
+    "resolve_jobs",
+    "run_collective",
+    "run_memory_sweep",
+]
 
 
 @dataclass
@@ -85,9 +94,11 @@ def run_collective(
 
     MCIO engines configured with ``execution_mode`` ``"vectorized"`` or
     ``"auto"`` dispatch to the node-level driver
-    (:func:`~repro.core.vectorized.run_vectorized_collective`); it falls
-    back to the per-rank path on its own whenever faults, leases or the
-    data plane demand per-rank coroutines.
+    (:func:`~repro.core.vectorized.run_vectorized_collective`);
+    ``"sharded"`` dispatches to the group-sharded process-parallel
+    driver (:func:`~repro.parallel.run_sharded_collective`).  Both fall
+    back to the per-rank path on their own whenever faults, leases or
+    the data plane demand per-rank coroutines.
     """
     if len(patterns) != platform.comm.size:
         raise ValueError(
@@ -102,6 +113,16 @@ def run_collective(
 
         for op in ops:
             run_vectorized_collective(engine, patterns, op)
+        return list(engine.history[-len(ops):])
+
+    if (
+        isinstance(engine, MemoryConsciousCollectiveIO)
+        and engine.config.execution_mode == "sharded"
+    ):
+        from repro.parallel import run_sharded_collective
+
+        for op in ops:
+            run_sharded_collective(engine, patterns, op)
         return list(engine.history[-len(ops):])
 
     def main(ctx):
@@ -133,6 +154,53 @@ class SweepPoint:
         return self.stats.bandwidth_mib
 
 
+def _memory_sweep_cell(cell) -> list[SweepPoint]:
+    """One (buffer, strategy) cell of :func:`run_memory_sweep`.
+
+    Module-level so the cell-sharding runner can ship it to worker
+    processes; `cell` is a plain picklable tuple.  The body is exactly
+    the serial loop's — same platform seed, same availability draw —
+    so a sweep's points are identical at any ``jobs`` count.
+    """
+    (
+        spec, patterns, buffer, strategy, sigma_bytes, seed,
+        mcio_template, tp_template, ops, granularity,
+    ) = cell
+    platform = Platform.build(spec, len(patterns), seed=seed)
+    platform.cluster.sample_memory_availability(
+        mean_bytes=float(buffer), sigma_bytes=float(sigma_bytes)
+    )
+    if strategy == "two-phase":
+        engine = TwoPhaseCollectiveIO(
+            platform.comm,
+            platform.pfs,
+            replace(
+                tp_template,
+                cb_buffer_size=int(buffer),
+                shuffle_granularity=granularity,
+            ),
+        )
+    elif strategy == "mcio":
+        engine = MemoryConsciousCollectiveIO(
+            platform.comm,
+            platform.pfs,
+            replace(
+                mcio_template,
+                cb_buffer_size=int(buffer),
+                shuffle_granularity=granularity,
+            ),
+        )
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    all_stats = run_collective(platform, engine, patterns, ops=ops)
+    return [
+        SweepPoint(
+            buffer_bytes=int(buffer), strategy=strategy, op=op, stats=stats
+        )
+        for op, stats in zip(ops, all_stats)
+    ]
+
+
 def run_memory_sweep(
     spec: ClusterSpec,
     patterns: Sequence[AccessPattern],
@@ -145,6 +213,7 @@ def run_memory_sweep(
     strategies: Sequence[str] = ("two-phase", "mcio"),
     granularity: str = "round",
     tracer: Optional[Tracer] = None,
+    jobs: Optional[int] = 1,
 ) -> list[SweepPoint]:
     """The paper's evaluation loop.
 
@@ -173,19 +242,38 @@ def run_memory_sweep(
     tracer:
         Optional :class:`~repro.obs.Tracer` installed on every point's
         platform (timelines concatenated), for exporting the whole sweep
-        as one trace.
+        as one trace.  A tracer forces the serial path (live timelines
+        stay in-process), keeping traced sweeps bit-identical.
+    jobs:
+        Cell-sharding worker count: fan the (buffer, strategy) cells out
+        across processes (``None``/``0`` = one per core, ``1`` = serial,
+        the default).  Results are identical at any jobs count — every
+        cell builds its own platform from the same seed.
 
     Returns
     -------
     list of SweepPoint
-        One per (buffer, strategy, op).
+        One per (buffer, strategy, op); order independent of `jobs`.
     """
     n_ranks = len(patterns)
     mcio_template = mcio_config if mcio_config is not None else MCIOConfig()
     tp_template = (
         twophase_config if twophase_config is not None else TwoPhaseConfig()
     )
+    cells = [
+        (
+            spec, tuple(patterns), buffer, strategy, sigma_bytes, seed,
+            mcio_template, tp_template, tuple(ops), granularity,
+        )
+        for buffer in buffer_sizes
+        for strategy in strategies
+    ]
     points: list[SweepPoint] = []
+    if tracer is None and resolve_jobs(jobs) > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            for cell_points in runner.map(_memory_sweep_cell, cells):
+                points.extend(cell_points)
+        return points
     for buffer in buffer_sizes:
         for strategy in strategies:
             platform = Platform.build(spec, n_ranks, seed=seed, tracer=tracer)

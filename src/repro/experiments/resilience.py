@@ -170,6 +170,106 @@ def chaos_schedule(
     return generated.merged(guaranteed)
 
 
+def _chaos_cell(cell, tracer=None) -> ChaosPoint:
+    """One (rate, strategy) cell of the chaos sweep.
+
+    Module-level and driven by a plain picklable tuple so the
+    cell-sharding runner can ship it to worker processes; the body is
+    the serial sweep's, cell for cell — same platform seed, same
+    ``(seed, rate)``-derived fault schedule — so results are identical
+    at any ``jobs`` count.  `tracer` is only ever passed on the serial
+    in-process path (a live tracer cannot cross a process boundary).
+    """
+    from repro.core import ConservationAuditor
+
+    rate, strategy, seed, n_ranks, n_nodes, payload_kib, horizon, audit = cell
+    nbytes = payload_kib * KIB
+    # 4 MB nodes with N_ah=4 give ~1 MB buffers on ~4 MB domains: four
+    # lockstep rounds (so mid-run failover has rounds left to save) and
+    # enough headroom on live hosts to absorb an orphaned buffer
+    spec = _small_spec(n_nodes, memory_mib=4)
+    platform = Platform.build(
+        spec, n_ranks, seed=seed, with_data=False, tracer=tracer
+    )
+    # generous timeout: outage rejections fail instantly (no timeout
+    # needed), and a backstop this large never trips on mere queueing
+    # congestion, keeping the rate-0 rows retry-free
+    platform.pfs.retry = RetryPolicy(
+        request_timeout=30.0, backoff_base=0.01, backoff_cap=0.2, max_retries=25
+    )
+    schedule = chaos_schedule(
+        seed, rate, horizon, len(platform.pfs.servers), n_nodes
+    )
+    injector = FaultInjector(
+        platform.env, platform.cluster, platform.pfs, schedule
+    )
+    if len(schedule):
+        injector.start()
+    if strategy == "two-phase":
+        engine = TwoPhaseCollectiveIO(
+            platform.comm, platform.pfs,
+            TwoPhaseConfig(cb_buffer_size=64 * KIB),
+        )
+    else:
+        # "mcio-static" ablates the degraded modes: same planner,
+        # no mid-run failover and no fallback chain
+        degraded = strategy == "mcio"
+        engine = MemoryConsciousCollectiveIO(
+            platform.comm, platform.pfs,
+            MCIOConfig(
+                cb_buffer_size=64 * KIB, msg_ind=4 * MIB, mem_min=0,
+                nah=4, failover=degraded, fallback_chain=degraded,
+            ),
+        )
+        engine.watch_faults(injector)
+    auditor = ConservationAuditor().attach(engine) if audit else None
+
+    def main_fn(ctx):
+        # interleaved (coll_perf-style) pattern: every file domain
+        # receives data from every node, so a failed aggregator
+        # host degrades shuffle *and* storage injection — the
+        # regime where failover to a healthy host pays off
+        chunk = 64 * KIB
+        pattern = AccessPattern(
+            (
+                StridedSegment(
+                    ctx.rank * chunk,
+                    chunk,
+                    n_ranks * chunk,
+                    nbytes // chunk,
+                ),
+            )
+        )
+        yield from engine.write(ctx, pattern)
+
+    platform.comm.run_spmd(main_fn)
+    injector.stop()
+    stats = engine.history[-1]
+    if auditor is not None:
+        chunk = 64 * KIB
+        auditor.verify(
+            [
+                AccessPattern(
+                    (
+                        StridedSegment(
+                            r * chunk, chunk, n_ranks * chunk,
+                            nbytes // chunk,
+                        ),
+                    )
+                )
+                for r in range(n_ranks)
+            ]
+        )
+    return ChaosPoint(
+        fault_rate=float(rate),
+        strategy=strategy,
+        stats=stats,
+        outages=injector.applied.get("server_outage", 0),
+        node_failures=injector.applied.get("node_failure", 0),
+        completed=True,
+    )
+
+
 def run(
     fault_rates=(0.0, 0.5, 1.0),
     seed: int = 0,
@@ -179,6 +279,7 @@ def run(
     horizon: float = 8.0,
     tracer=None,
     audit: bool = False,
+    jobs=1,
 ) -> ResilienceResult:
     """Sweep fault intensity for both strategies on a paired platform.
 
@@ -190,101 +291,24 @@ def run(
     runs under a :class:`~repro.core.audit.ConservationAuditor` and the
     no-lost-bytes invariant is asserted after each storm (raising
     :class:`~repro.core.audit.ConservationError` on violation).
+
+    `jobs` fans the independent cells out across worker processes
+    (``None``/``0`` = one per core, ``1`` = serial).  Point-for-point
+    identical results at any jobs count; a tracer forces the serial
+    path so timelines concatenate deterministically.
     """
-    from repro.core import ConservationAuditor
-    nbytes = payload_kib * KIB
-    # 4 MB nodes with N_ah=4 give ~1 MB buffers on ~4 MB domains: four
-    # lockstep rounds (so mid-run failover has rounds left to save) and
-    # enough headroom on live hosts to absorb an orphaned buffer
-    spec = _small_spec(n_nodes, memory_mib=4)
-    # generous timeout: outage rejections fail instantly (no timeout
-    # needed), and a backstop this large never trips on mere queueing
-    # congestion, keeping the rate-0 rows retry-free
-    retry = RetryPolicy(
-        request_timeout=30.0, backoff_base=0.01, backoff_cap=0.2, max_retries=25
-    )
-    points: list[ChaosPoint] = []
-    for rate in fault_rates:
-        for strategy in ("two-phase", "mcio-static", "mcio"):
-            platform = Platform.build(
-                spec, n_ranks, seed=seed, with_data=False, tracer=tracer
-            )
-            platform.pfs.retry = retry
-            schedule = chaos_schedule(
-                seed, rate, horizon, len(platform.pfs.servers), n_nodes
-            )
-            injector = FaultInjector(
-                platform.env, platform.cluster, platform.pfs, schedule
-            )
-            if len(schedule):
-                injector.start()
-            if strategy == "two-phase":
-                engine = TwoPhaseCollectiveIO(
-                    platform.comm, platform.pfs,
-                    TwoPhaseConfig(cb_buffer_size=64 * KIB),
-                )
-            else:
-                # "mcio-static" ablates the degraded modes: same planner,
-                # no mid-run failover and no fallback chain
-                degraded = strategy == "mcio"
-                engine = MemoryConsciousCollectiveIO(
-                    platform.comm, platform.pfs,
-                    MCIOConfig(
-                        cb_buffer_size=64 * KIB, msg_ind=4 * MIB, mem_min=0,
-                        nah=4, failover=degraded, fallback_chain=degraded,
-                    ),
-                )
-                engine.watch_faults(injector)
-            auditor = (
-                ConservationAuditor().attach(engine) if audit else None
-            )
+    from repro.parallel import ParallelRunner, resolve_jobs
 
-            def main_fn(ctx):
-                # interleaved (coll_perf-style) pattern: every file domain
-                # receives data from every node, so a failed aggregator
-                # host degrades shuffle *and* storage injection — the
-                # regime where failover to a healthy host pays off
-                chunk = 64 * KIB
-                pattern = AccessPattern(
-                    (
-                        StridedSegment(
-                            ctx.rank * chunk,
-                            chunk,
-                            n_ranks * chunk,
-                            nbytes // chunk,
-                        ),
-                    )
-                )
-                yield from engine.write(ctx, pattern)
-
-            platform.comm.run_spmd(main_fn)
-            injector.stop()
-            stats = engine.history[-1]
-            if auditor is not None:
-                chunk = 64 * KIB
-                auditor.verify(
-                    [
-                        AccessPattern(
-                            (
-                                StridedSegment(
-                                    r * chunk, chunk, n_ranks * chunk,
-                                    nbytes // chunk,
-                                ),
-                            )
-                        )
-                        for r in range(n_ranks)
-                    ]
-                )
-            points.append(
-                ChaosPoint(
-                    fault_rate=float(rate),
-                    strategy=strategy,
-                    stats=stats,
-                    outages=injector.applied.get("server_outage", 0),
-                    node_failures=injector.applied.get("node_failure", 0),
-                    completed=True,
-                )
-            )
+    cells = [
+        (rate, strategy, seed, n_ranks, n_nodes, payload_kib, horizon, audit)
+        for rate in fault_rates
+        for strategy in ("two-phase", "mcio-static", "mcio")
+    ]
+    if tracer is None and resolve_jobs(jobs) > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            points = runner.map(_chaos_cell, cells)
+    else:
+        points = [_chaos_cell(cell, tracer=tracer) for cell in cells]
     return ResilienceResult(points)
 
 
@@ -302,6 +326,14 @@ def main(argv=None) -> None:
         default=None,
         help="export a Chrome/Perfetto trace of the whole sweep to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent sweep cells "
+        "(0 = one per core; ignored with --trace-out)",
+    )
     args = parser.parse_args(argv)
 
     tracer = None
@@ -309,7 +341,7 @@ def main(argv=None) -> None:
         from repro.obs import Tracer
 
         tracer = Tracer(capacity=1 << 20)
-    result = run(tracer=tracer)
+    result = run(tracer=tracer, jobs=args.jobs)
     print(result.render())
     if tracer is not None:
         from repro.obs import write_chrome

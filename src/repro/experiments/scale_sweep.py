@@ -37,6 +37,7 @@ from repro.core.pattern_array import PatternArray
 from repro.core.vectorized import run_vectorized_collective
 from repro.experiments.harness import Platform
 from repro.experiments.report import format_table
+from repro.parallel import ParallelRunner, cell_seed, resolve_jobs
 
 __all__ = ["build_spec", "rank_ladder", "run_point", "run_sweep", "main"]
 
@@ -78,6 +79,25 @@ def rank_ladder(target: int, base: int = 1000, factor: int = 10) -> list[int]:
         point *= factor
     ladder.append(target)
     return ladder
+
+
+def _ladder_cell(cell) -> list[dict]:
+    """Picklable wrapper around :func:`run_point` for cell sharding.
+
+    The per-point platform seed is derived from the cell's own
+    signature (:func:`~repro.parallel.cell_seed`), never from worker
+    identity, so the ladder's records are identical at any ``--jobs``
+    count — and to the serial run (these fault-free metadata sweeps
+    never draw from the platform RNG).
+    """
+    n_ranks, ranks_per_node, bytes_per_rank, ops, seed = cell
+    return run_point(
+        n_ranks,
+        ranks_per_node,
+        bytes_per_rank,
+        ops,
+        seed=cell_seed(seed, n_ranks, ranks_per_node, bytes_per_rank),
+    )
 
 
 def run_point(
@@ -133,13 +153,26 @@ def run_sweep(
     bytes_per_rank: int,
     ops: tuple[str, ...] = ("write", "read"),
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[dict]:
-    """Every ladder point up to `target_ranks`, in ascending order."""
+    """Every ladder point up to `target_ranks`, in ascending order.
+
+    `jobs` fans the independent ladder points out across worker
+    processes (``None``/``0`` = one per core, ``1`` = serial); record
+    order and content are jobs-independent.
+    """
+    cells = [
+        (n_ranks, ranks_per_node, bytes_per_rank, tuple(ops), seed)
+        for n_ranks in rank_ladder(target_ranks)
+    ]
     rows: list[dict] = []
-    for n_ranks in rank_ladder(target_ranks):
-        rows.extend(
-            run_point(n_ranks, ranks_per_node, bytes_per_rank, ops, seed)
-        )
+    if resolve_jobs(jobs) > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            for point_rows in runner.map(_ladder_cell, cells):
+                rows.extend(point_rows)
+    else:
+        for cell in cells:
+            rows.extend(_ladder_cell(cell))
     return rows
 
 
@@ -194,6 +227,11 @@ def main(argv: list[str] | None = None) -> int:
         help="also write the per-point records as JSON",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent ladder points "
+        "(0 = one per core; default 1 = serial)",
+    )
     args = parser.parse_args(argv)
 
     wall0 = time.perf_counter()
@@ -203,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         args.bytes_per_rank,
         ops=tuple(args.ops),
         seed=args.seed,
+        jobs=args.jobs,
     )
     total_wall = time.perf_counter() - wall0
 
@@ -248,6 +287,13 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.time_budget:.0f}s budget",
             file=sys.stderr,
         )
+        # per-cell wall times point at the offending ladder rung
+        for r in rows:
+            print(
+                f"  {r['ranks']:>9,} ranks {r['op']:5s} "
+                f"{r['wall_s']:6.1f}s",
+                file=sys.stderr,
+            )
         failed = True
     return 1 if failed else 0
 

@@ -24,18 +24,19 @@ compact_bench = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(compact_bench)
 
 
-def write_compact(path: Path, medians: dict[str, float]) -> None:
-    path.write_text(
-        json.dumps(
-            {
-                "datetime": "2026-01-01T00:00:00",
-                "benchmarks": [
-                    {"name": name, "median": median, "stddev": 0.0, "rounds": 5}
-                    for name, median in medians.items()
-                ],
-            }
-        )
-    )
+def write_compact(
+    path: Path, medians: dict[str, float], machine: dict | None = None
+) -> None:
+    data = {
+        "datetime": "2026-01-01T00:00:00",
+        "benchmarks": [
+            {"name": name, "median": median, "stddev": 0.0, "rounds": 5}
+            for name, median in medians.items()
+        ],
+    }
+    if machine is not None:
+        data["machine"] = machine
+    path.write_text(json.dumps(data))
 
 
 def test_compare_missing_prior_exits_clean(tmp_path, capsys):
@@ -84,3 +85,80 @@ def test_compare_missing_new_is_still_an_error(tmp_path):
 
     with pytest.raises(FileNotFoundError):
         compact_bench.main(["compare", str(old), str(tmp_path / "gone.json")])
+
+
+class TestMachineStamp:
+    def test_compact_lifts_machine_info_from_full_format(self, tmp_path):
+        """pytest-benchmark's machine_info collapses to {node, cpu_count}."""
+        full = tmp_path / "full.json"
+        full.write_text(
+            json.dumps(
+                {
+                    "datetime": "2026-01-01T00:00:00",
+                    "machine_info": {
+                        "node": "runner-17",
+                        "processor": "x86_64",
+                        "cpu": {"count": 4, "brand_raw": "whatever"},
+                    },
+                    "benchmarks": [
+                        {
+                            "name": "test_kernel",
+                            "stats": {
+                                "median": 0.01, "stddev": 0.0, "rounds": 3
+                            },
+                        }
+                    ],
+                }
+            )
+        )
+        records = compact_bench.load_records(full)
+        assert records["machine"] == {"node": "runner-17", "cpu_count": 4}
+
+    def test_compact_round_trips_its_own_stamp(self, tmp_path):
+        path = tmp_path / "BENCH_8.json"
+        write_compact(
+            path, {"test_kernel": 0.01},
+            machine={"node": "runner-17", "cpu_count": 4},
+        )
+        records = compact_bench.load_records(path)
+        assert records["machine"] == {"node": "runner-17", "cpu_count": 4}
+
+    def test_stampless_sources_omit_machine(self, tmp_path):
+        """Old trajectory points predate the stamp — no fabricated label."""
+        path = tmp_path / "BENCH_6.json"
+        write_compact(path, {"test_kernel": 0.01})
+        assert "machine" not in compact_bench.load_records(path)
+
+    def test_compare_notes_machine_mismatch(self, tmp_path, capsys):
+        old = tmp_path / "BENCH_7.json"
+        new = tmp_path / "BENCH_8.json"
+        write_compact(
+            old, {"test_kernel": 0.010},
+            machine={"node": "runner-17", "cpu_count": 4},
+        )
+        write_compact(
+            new, {"test_kernel": 0.011},
+            machine={"node": "runner-99", "cpu_count": 16},
+        )
+        rc = compact_bench.main(["compare", str(old), str(new)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "different machines" in out
+        assert "runner-17 (4 cores)" in out
+        assert "runner-99 (16 cores)" in out
+
+    def test_compare_silent_when_machines_match_or_missing(
+        self, tmp_path, capsys
+    ):
+        old = tmp_path / "BENCH_7.json"
+        new = tmp_path / "BENCH_8.json"
+        stamp = {"node": "runner-17", "cpu_count": 4}
+        write_compact(old, {"test_kernel": 0.010}, machine=stamp)
+        write_compact(new, {"test_kernel": 0.011}, machine=stamp)
+        compact_bench.main(["compare", str(old), str(new)])
+        assert "different machines" not in capsys.readouterr().out
+
+        stampless = tmp_path / "BENCH_6.json"
+        write_compact(stampless, {"test_kernel": 0.012})
+        compact_bench.main(["compare", str(stampless), str(new)])
+        assert "different machines" not in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""ParallelRunner and cell_seed: the cell-sharding plumbing."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import ParallelRunner, cell_seed, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"cell {x} failed")
+
+
+class TestResolveJobs:
+    def test_auto_values(self):
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestCellSeed:
+    def test_deterministic_and_signature_dependent(self):
+        a = cell_seed(0, 12, "mcio", 0.5)
+        assert a == cell_seed(0, 12, "mcio", 0.5)
+        assert a != cell_seed(0, 12, "mcio", 1.0)
+        assert a != cell_seed(1, 12, "mcio", 0.5)
+
+    def test_range(self):
+        for sig in [(0,), (7, "x"), (3, 1.5, "two-phase", 1024)]:
+            s = cell_seed(*sig)
+            assert 0 <= s < 2**31 - 1
+
+
+class TestParallelRunner:
+    def test_serial_default(self):
+        r = ParallelRunner()
+        assert r.jobs == 1
+        assert not r.parallel
+        assert r.map(_square, [1, 2, 3]) == [1, 4, 9]
+        r.close()  # no-op on a serial runner
+
+    def test_parallel_map_preserves_order(self):
+        with ParallelRunner(jobs=2) as r:
+            assert r.parallel
+            assert r.map(_square, range(10)) == [x * x for x in range(10)]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(20))
+        serial = ParallelRunner(jobs=1).map(_square, items)
+        with ParallelRunner(jobs=3) as r:
+            assert r.map(_square, items) == serial
+
+    def test_single_item_runs_inline(self):
+        # one item never pays pool start-up, even on a parallel runner
+        r = ParallelRunner(jobs=4)
+        assert r.map(_square, [5]) == [25]
+        assert r._pool is None
+        r.close()
+
+    def test_pool_reused_across_maps(self):
+        with ParallelRunner(jobs=2) as r:
+            r.map(_square, [1, 2])
+            pool = r._pool
+            r.map(_square, [3, 4])
+            assert r._pool is pool
+
+    def test_worker_exception_propagates(self):
+        with ParallelRunner(jobs=2) as r:
+            with pytest.raises(RuntimeError, match="cell .* failed"):
+                r.map(_boom, [1, 2, 3])
+
+    def test_close_idempotent_and_context_manager(self):
+        r = ParallelRunner(jobs=2)
+        r.map(_square, [1, 2])
+        r.close()
+        r.close()
+        assert r._pool is None
+        # usable again after close (pool is lazily rebuilt)
+        assert r.map(_square, [1, 2]) == [1, 4]
+        r.close()

@@ -1,0 +1,229 @@
+"""When group sharding must refuse and fall back to per-rank execution.
+
+Mirrors the vectorized refusal matrix plus the two reasons unique to
+sharding: ``single-group`` (nothing to partition) and
+``shared-aggregator-host`` (a node hosting buffers of several groups
+would see a partition-dependent memory-commitment sequence).  Refusals
+are partition-*independent*: the same plan refuses identically at any
+jobs count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MCIOConfig, MemoryConsciousCollectiveIO
+from repro.core.request import AccessPattern
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.parallel import run_sharded_collective
+
+from tests.helpers import assert_stats_equivalent, make_stack
+
+KIB = 1024
+
+#: A config whose plan genuinely shards on the default 8r/4n/2c stack.
+SHARDABLE = dict(
+    msg_group=8 * KIB, msg_ind=2 * KIB, mem_min=0, nah=1,
+    cb_buffer_size=1024, min_buffer=1,
+)
+SHAPE = dict(n_ranks=8, n_nodes=4, cores=2)
+
+
+def patterns(n_ranks=8, tile=4 * KIB):
+    return [AccessPattern.contiguous(r * tile, tile) for r in range(n_ranks)]
+
+
+def shard_stack(**overrides):
+    kwargs = dict(SHAPE, with_data=False)
+    kwargs.update(overrides)
+    return make_stack(**kwargs)
+
+
+def shard_config(**overrides) -> MCIOConfig:
+    kwargs = dict(SHARDABLE)
+    kwargs.update(overrides)
+    return MCIOConfig(**kwargs)
+
+
+def assert_refused(stats, reason: str) -> None:
+    assert stats.execution_mode == "per-rank"
+    assert stats.sharding_refusals == 1
+    assert stats.extra["sharding_refusal"] == reason
+
+
+class TestRefusalReasons:
+    def test_data_plane(self):
+        stack = shard_stack(with_data=True)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        stats = run_sharded_collective(engine, patterns(), "write", jobs=2)
+        assert_refused(stats, "data-plane")
+
+    def test_payloads_alone_refuse(self):
+        import numpy as np
+
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        payloads = [np.zeros(4 * KIB, dtype=np.uint8) for _ in range(8)]
+        stats = run_sharded_collective(
+            engine, patterns(), "write", payloads=payloads, jobs=2
+        )
+        assert_refused(stats, "data-plane")
+
+    def test_fault_schedule(self):
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        schedule = FaultSchedule(
+            [FaultEvent(time=1e9, kind="node_failure", target=0)]
+        )
+        injector = FaultInjector(stack.env, stack.cluster, stack.pfs, schedule)
+        engine.watch_faults(injector)
+        stats = run_sharded_collective(engine, patterns(), "write", jobs=2)
+        assert_refused(stats, "fault-schedule")
+
+    def test_failed_node(self):
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        stack.cluster.nodes[1].fail()
+        stats = run_sharded_collective(engine, patterns(), "write", jobs=2)
+        assert_refused(stats, "failed-nodes")
+
+    def test_active_lease(self):
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        ledger = stack.cluster.memory_ledger
+        lease = ledger.grant(
+            lender_node=2, borrower_rank=0, nbytes=4096, now=0.0, term=1e9
+        )
+        assert lease is not None
+        stats = run_sharded_collective(engine, patterns(), "write", jobs=2)
+        assert_refused(stats, "active-leases")
+        ledger.release(lease, now=float(stack.env.now))
+
+    def test_single_group(self):
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            shard_config(msg_group=1 << 30, msg_ind=1 << 30),
+        )
+        stats = run_sharded_collective(engine, patterns(), "write", jobs=2)
+        assert_refused(stats, "single-group")
+        assert stats.n_groups == 1
+
+    def test_shared_aggregator_host(self):
+        """Interleaved views split each group across several aggregators
+        (msg_ind < msg_group), so 4 groups spread ~16 leaves over 4 nodes
+        — some node inevitably hosts buffers of two groups."""
+        from repro.core.request import StridedSegment
+
+        chunk = KIB
+        n_ranks = 8
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            shard_config(cb_buffer_size=2 * KIB),
+        )
+        pats = [
+            AccessPattern(
+                (StridedSegment(r * chunk, chunk, n_ranks * chunk, 4),)
+            )
+            for r in range(n_ranks)
+        ]
+        stats = run_sharded_collective(engine, pats, "write", jobs=2)
+        assert_refused(stats, "shared-aggregator-host")
+        assert stats.n_groups >= 2
+
+    def test_lender_domains(self):
+        stack = shard_stack(n_ranks=12, n_nodes=3, cores=4)
+        rich = 2
+        for node in stack.cluster.nodes:
+            node.memory.set_available(10**9 if node.node_id == rich else 6000)
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            shard_config(
+                placement_policy="hybrid", adaptive_buffer=False,
+                cb_buffer_size=8 * KIB, msg_ind=4 * KIB, msg_group=1 << 30,
+                nah=2,
+            ),
+        )
+        pats = patterns(n_ranks=12)
+        stats = run_sharded_collective(engine, pats, "write", jobs=2)
+        assert_refused(stats, "lender-domains")
+        assert stats.leases_granted > 0
+
+
+class TestRefusalProperties:
+    def test_refusal_is_jobs_independent(self):
+        """The same plan refuses (or not) identically at every jobs count
+        — partitioning never feeds into the refusal decision."""
+        for jobs in (1, 2, 4):
+            stack = shard_stack()
+            engine = MemoryConsciousCollectiveIO(
+                stack.comm, stack.pfs,
+                shard_config(msg_group=1 << 30, msg_ind=1 << 30),
+            )
+            stats = run_sharded_collective(
+                engine, patterns(), "write", jobs=jobs
+            )
+            assert_refused(stats, "single-group")
+
+    def test_fallback_matches_pure_per_rank(self):
+        """The refused run is exactly the per-rank run, timing included."""
+        def scenario(sharded: bool):
+            stack = shard_stack()
+            engine = MemoryConsciousCollectiveIO(
+                stack.comm, stack.pfs,
+                shard_config(msg_group=1 << 30, msg_ind=1 << 30),
+            )
+            pats = patterns()
+            if sharded:
+                run_sharded_collective(engine, pats, "write", jobs=2)
+            else:
+                def main(ctx):
+                    yield from engine.write(ctx, pats[ctx.rank])
+
+                stack.run_spmd(main)
+            return engine.history[-1], stack
+
+        got, got_stack = scenario(sharded=True)
+        want, want_stack = scenario(sharded=False)
+        assert_stats_equivalent(want, got)
+        assert float(got_stack.env.now).hex() == float(want_stack.env.now).hex()
+        assert got.elapsed == want.elapsed
+
+    def test_one_shot_refusal_counter(self):
+        """The pending refusal is consumed by the fallback collective and
+        does not leak into the engine's next operation."""
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs,
+            shard_config(msg_group=1 << 30, msg_ind=1 << 30),
+        )
+        pats = patterns()
+        first = run_sharded_collective(engine, pats, "write", jobs=2)
+        assert first.sharding_refusals == 1
+
+        def main(ctx):
+            yield from engine.write(ctx, pats[ctx.rank])
+
+        stack.run_spmd(main)
+        second = engine.history[-1]
+        assert second.sharding_refusals == 0
+        assert "sharding_refusal" not in second.extra
+
+    def test_bad_op_rejected(self):
+        stack = shard_stack()
+        engine = MemoryConsciousCollectiveIO(
+            stack.comm, stack.pfs, shard_config()
+        )
+        with pytest.raises(ValueError, match="op must be"):
+            run_sharded_collective(engine, patterns(), "append", jobs=2)
