@@ -1,0 +1,30 @@
+"""Benchmark: persistent & pipelined collective I/O sweep.
+
+Tracks the pipelining extension end to end: mode x regime x op with
+cross-mode datastore verification.  The acceptance number is the
+variance-regime speedup — persistent+overlap vs the back-to-back
+blocking loop — which the half-slot double buffering must keep at or
+above 1.3x (shuffle on the rich nodes' ingress overlapping drains on
+their egress).
+"""
+
+from repro.experiments import pipeline
+
+
+def test_pipeline_sweep(once):
+    result = once(lambda: pipeline.run(seed=0))
+    by_key = {(p.regime, p.mode, p.op): p for p in result.points}
+
+    # the headline: concentrated aggregators turn overlap into time
+    for op in ("write", "read"):
+        ov = by_key[("variance", "persistent+overlap", op)]
+        assert result.speedup(ov) >= 1.3
+        assert ov.overlapped > 0
+        assert ov.replans == 1
+    # plan reuse alone must never lose time vs the blocking loop
+    for regime in ("uniform", "variance"):
+        for op in ("write", "read"):
+            noov = by_key[(regime, "persistent", op)]
+            assert result.speedup(noov) >= 1.0 or abs(
+                result.speedup(noov) - 1.0
+            ) < 1e-9

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Iterative checkpointing with persistent, pipelined collective I/O.
+
+A time-stepping simulation dumps its state to a shared file every
+timestep.  The classic loop calls ``write_all`` each time, re-paying the
+coordination preamble (pattern + memory allgathers, planning) and
+serializing the shuffle and PFS stages of every aggregation round.  The
+MPI-4 style alternative initialises the collective once —
+``fh.write_all_init()`` — and replays the frozen plan each timestep with
+``start()``/``wait()``; the replay runs the engine's pipelined executor,
+which double-buffers each planned aggregation window as two half-sized
+slots so round t's shuffle overlaps round t-1's drain to the object
+servers, inside the plan's memory budget.
+
+The platform is the memory-variance regime where the paper's placement
+matters: two memory-rich nodes host every aggregator, so shuffle traffic
+arrives on their ingress links while drains leave on egress — disjoint
+resources, which is what the overlap converts into time.
+
+The example also shows the nonblocking one-shots: the final analysis
+write is issued with ``iwrite_all`` and overlapped with a compute phase
+before ``wait()``.
+
+Run:  python examples/iterative_checkpoint.py   (a few seconds)
+"""
+
+import numpy as np
+
+from repro import (
+    ClusterSpec,
+    MCIOConfig,
+    MemoryConsciousCollectiveIO,
+    NodeSpec,
+    ParallelFileSystem,
+    SimComm,
+    SimFile,
+    SparseFile,
+    StorageSpec,
+    block_placement,
+    contiguous_view,
+)
+from repro.cluster import Cluster
+from repro.sim import Environment, RngFactory
+
+N_RANKS = 16
+N_NODES = 16
+BLOCK = 500_000  # bytes each rank checkpoints per timestep
+TIMESTEPS = 4
+RICH, POOR = 3_000_000, 100_000
+
+
+def build(seed=0):
+    spec = ClusterSpec(
+        nodes=N_NODES,
+        node=NodeSpec(cores=1, memory_bytes=10**9, memory_bandwidth=1e8,
+                      memory_channels=2, nic_bandwidth=1e6, nic_latency=1e-6),
+        storage=StorageSpec(servers=4, server_bandwidth=1e6,
+                            request_overhead=1e-3, stripe_size=256),
+    )
+    env = Environment()
+    cluster = Cluster(env, spec, RngFactory(seed))
+    # two memory-rich nodes: the memory-conscious planner concentrates
+    # every aggregation buffer there (mem_min excludes the poor hosts)
+    cluster.set_memory_availability((RICH, RICH) + (POOR,) * (N_NODES - 2))
+    comm = SimComm(env, cluster, block_placement(N_RANKS, N_NODES, 1))
+    pfs = ParallelFileSystem(env, spec.storage, datastore=SparseFile())
+    engine = MemoryConsciousCollectiveIO(
+        comm, pfs,
+        MCIOConfig(msg_group=10**9, msg_ind=256 * 1024, mem_min=200_000,
+                   nah=4, min_buffer=1, cb_buffer_size=64 * 1024),
+    )
+    return env, comm, pfs, engine
+
+
+def state_at(rank, step):
+    """The rank's checkpoint bytes at a given timestep (deterministic)."""
+    idx = np.arange(BLOCK, dtype=np.int64)
+    return ((idx * 31 + rank * 97 + step * 7) % 251).astype(np.uint8)
+
+
+def run_loop(persistent):
+    env, comm, pfs, engine = build()
+    fh = SimFile.open(comm, engine)
+
+    def simulation(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * BLOCK, BLOCK))
+        pc = fh.write_all_init(ctx, overlap=True) if persistent else None
+        for step in range(TIMESTEPS):
+            # ... compute phase would go here ...
+            state = state_at(ctx.rank, step)
+            if persistent:
+                pc.start(ctx, state)  # MPI_Start: local, returns at once
+                yield from pc.wait(ctx)  # MPI_Wait
+            else:
+                yield from fh.write_all(ctx, state)
+        # post-run analysis pass: nonblocking read of the final state,
+        # overlapped with local work, completed via the Request handle
+        req = fh.iread_all(ctx)
+        yield env.sleep(0.05)  # ... analysis compute ...
+        data = yield from req.wait(ctx)
+        return bool((data == state_at(ctx.rank, TIMESTEPS - 1)).all())
+
+    results = comm.run_spmd(simulation)
+    assert all(results), "restart verification failed"
+    writes = [s for s in engine.history if s.op == "write"]
+    return env.now, writes
+
+
+def main():
+    print(f"iterative checkpoint: {N_RANKS} ranks x {BLOCK // 1000} KB, "
+          f"{TIMESTEPS} timesteps, aggregators on 2 memory-rich nodes\n")
+    t_block, w_block = run_loop(persistent=False)
+    t_pers, w_pers = run_loop(persistent=True)
+    print("per-timestep checkpoint (simulated seconds):")
+    print("  step |  blocking | persistent+overlap")
+    for i, (b, p) in enumerate(zip(w_block, w_pers)):
+        note = "  (plans here)" if p.extra.get("persistent_replanned") else ""
+        print(f"  {i:4d} | {b.elapsed:9.3f} | {p.elapsed:18.3f}{note}")
+    overlapped = sum(s.extra.get("pipeline_overlapped", 0) for s in w_pers)
+    print(f"\nwhole loop: blocking {t_block:.3f} s, "
+          f"persistent+overlap {t_pers:.3f} s "
+          f"-> {t_block / t_pers:.2f}x speedup "
+          f"({overlapped} PFS stages ran behind the shuffle)")
+
+
+if __name__ == "__main__":
+    main()

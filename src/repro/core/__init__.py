@@ -26,6 +26,7 @@ from .independent import DataSievingIO, IndependentIO
 from .mcio import MemoryConsciousCollectiveIO
 from .metrics import CollectiveStats, StatsCollector
 from .partition_tree import PartitionNode, PartitionTree
+from .persistent import PersistentCollective
 from .plan_cache import PlanCache, PlanCacheStats
 from .request import AccessPattern, Extent, StridedSegment, coalesce_extents
 from .two_phase import TwoPhaseCollectiveIO, default_aggregators
@@ -49,6 +50,7 @@ __all__ = [
     "MemoryConsciousCollectiveIO",
     "PartitionNode",
     "PartitionTree",
+    "PersistentCollective",
     "PlacementError",
     "PlanCache",
     "PlanCacheStats",

@@ -48,6 +48,7 @@ from repro.core.filedomain import FileDomain, rounds_for
 from repro.core.metrics import StatsCollector
 from repro.core.request import AccessPattern, Extent, coalesce_extents
 from repro.mpi.comm import RankContext, SimComm
+from repro.obs.tracer import PID_PIPELINE
 from repro.pfs.filesystem import ParallelFileSystem
 
 __all__ = ["ExecutionPlan", "execute_collective"]
@@ -320,6 +321,7 @@ def execute_collective(
     failover_config=None,
     intra_node_aggregation: bool = False,
     borrow=None,
+    pipelined: bool = False,
 ):
     """Process generator: one rank's role in a planned collective op.
 
@@ -370,6 +372,20 @@ def execute_collective(
         round 0; an acquisition failure or a mid-run unsound lease
         raises :class:`~repro.core.borrow.BorrowDegraded` on every rank
         after local teardown — the caller re-plans without borrowing.
+    pipelined:
+        Overlap the shuffle stage of window t with the PFS-service
+        stage of window t-1 (write: window t-1 drains to the OSTs
+        behind the next exchange; read: window t+1 prefetches from the
+        OSTs behind the current scatter), double-buffering inside each
+        *planned* aggregation buffer as two half-sized slots — no
+        memory beyond the plan's budget is ever committed.  Same
+        bytes, same nominal round accounting, shorter critical path.
+        Falls back to the exact blocking path — with
+        the reason recorded in ``stats.extra["pipeline_fallback"]`` —
+        when hosts are already failed or the plan borrows remote
+        memory; a failure landing *mid*-pipeline drains the in-flight
+        windows at the next round boundary and hands the remaining
+        rounds to the lockstep path with `failover_config` re-armed.
 
     Returns
     -------
@@ -394,12 +410,25 @@ def execute_collective(
         # buffer needs the per-message control points
         granularity = "round"
         intra_node = False
+    if pipelined:
+        # the overlapped path needs healthy hosts and local buffers to
+        # start; it handles failures *arising* mid-run itself (drain,
+        # then lockstep + failover), but never starts degraded
+        if borrow is not None:
+            pipelined = False
+            stats.extra["pipeline_fallback"] = "borrow-lease"
+        elif any(node.failed for node in comm.cluster.nodes):
+            pipelined = False
+            stats.extra["pipeline_fallback"] = "failed-nodes"
+        else:
+            granularity = "round"
+            intra_node = False
     env = ctx.env
     stats.mark_start(env.now)
     stats.record_attempt()
     run = _RunContext(ctx, comm, pfs, plan, patterns, stats, op, op_seq, payload)
     run.borrow = borrow
-    if granularity == "round" and not intra_node:
+    if granularity == "round" and not intra_node and not pipelined:
         run.failover_config = failover_config
 
     tracer = env.tracer
@@ -433,7 +462,9 @@ def execute_collective(
                 # make grant outcomes common knowledge before round 0
                 yield from comm.barrier(ctx)
                 check_acquisition(run, borrow)
-            if intra_node:
+            if pipelined:
+                yield from _run_pipelined(run, failover_config)
+            elif intra_node:
                 yield from _run_intra_node(run)
             elif granularity == "round":
                 yield from _run_lockstep(run)
@@ -583,6 +614,280 @@ def _failover_check(run: _RunContext, t: int):
         run.stats.extra["failover_kept"] = (
             run.stats.extra.get("failover_kept", 0) + len(decision.kept)
         )
+
+
+# ---------------------------------------------------------------------------
+# pipelined execution (lockstep shuffle, PFS service overlapped)
+# ---------------------------------------------------------------------------
+def _half_round_extent(domain: FileDomain, t: int) -> Optional[Extent]:
+    """Sub-round `t`'s half-window of `domain`, or None past the last one.
+
+    The pipelined executor splits each planned aggregation buffer into
+    two half-sized slots, so its physical round `t` covers half a
+    blocking round — the whole pipeline fits in the *planned* memory
+    footprint, with no extra allocation.
+    """
+    half = (domain.buffer_bytes + 1) // 2
+    lo = domain.extent.offset + t * half
+    if lo >= domain.extent.end:
+        return None
+    hi = min(domain.extent.end, lo + half)
+    return Extent(lo, hi - lo)
+
+
+def _run_pipelined(run: _RunContext, failover_config):
+    """Lockstep sub-rounds with the PFS stage running behind the shuffle.
+
+    Memory-conscious double buffering: each aggregator splits its
+    *planned* aggregation buffer into two half-sized slots and walks the
+    domain in half-windows, so two windows are in flight inside the
+    footprint the planner already budgeted — nothing extra is committed
+    against node memory, in any regime.  Each half-window's work is a
+    *shuffle* stage (exchange + buffer assembly, in-round) and a
+    *PFS-service* stage (drain to / prefetch from the OSTs) running as a
+    background process across the round barrier.  Window t lands in slot
+    ``t % 2`` and must wait for the service of window t-2 (which used
+    the same slot) before reusing it; only the tail window's PFS service
+    is exposed on the critical path.  Bytes, message totals, and the
+    nominal (planned) round count are identical to the blocking path —
+    only the overlap structure differs.
+
+    A host failure noticed at a round boundary degrades the rest of the
+    run in place: in-flight write drains are awaited (already-prefetched
+    read windows are consumed, never re-read), `failover_config` is
+    re-armed so :func:`_failover_check` guards the remaining sub-rounds,
+    and each remaining window runs its PFS stage inline — the blocking
+    behaviour, at half-window granularity.
+    """
+    ctx, comm = run.ctx, run.comm
+    plan, patterns = run.plan, run.patterns
+    env = ctx.env
+    tracer = env.tracer
+    pid = comm.placement[ctx.rank]
+    ntimes = max(
+        (
+            rounds_for(d.extent.length, (d.buffer_bytes + 1) // 2)
+            for d in run.domains
+        ),
+        default=0,
+    )
+    #: (did, window) -> in-flight background PFS-service process
+    service: dict[tuple[int, int], object] = {}
+    degraded = False
+    for t in range(ntimes):
+        if tracer.enabled:
+            tracer.begin("shuffle", "shuffle.round", pid, ctx.rank, round=t)
+        try:
+            if not degraded and any(
+                node.failed for node in comm.cluster.nodes
+            ):
+                # drain the in-flight windows, then run the rest of
+                # the operation at blocking fidelity with failover
+                degraded = True
+                run.failover_config = failover_config
+                if run.op == "write":
+                    pending = [
+                        p for p in service.values() if not p.triggered
+                    ]
+                    if pending:
+                        yield env.all_of(pending)
+                    service.clear()
+                run.stats.extra.setdefault("pipeline_drained_at", t)
+            if degraded and run.failover_config is not None:
+                yield from _failover_check(run, t)
+            procs = []
+            for did, domain in enumerate(run.domains):
+                window = _half_round_extent(domain, t)
+                if window is None:
+                    continue
+                if domain.aggregator_rank == ctx.rank:
+                    procs.append(
+                        ctx.spawn(
+                            _pipeline_aggregator_window(
+                                run, did, window, t, service, degraded
+                            ),
+                            name=f"rank{ctx.rank}.pagg{did}.r{t}",
+                        )
+                    )
+                if plan.is_window_sender(
+                    ctx.rank, did, window.offset, window.end, patterns
+                ):
+                    procs.append(
+                        ctx.spawn(
+                            _member_window(run, did, window, t),
+                            name=f"rank{ctx.rank}.m{did}.r{t}",
+                        )
+                    )
+            if procs:
+                yield ctx.env.all_of(procs)
+            yield from comm.barrier(ctx)
+        finally:
+            if tracer.enabled:
+                tracer.end(pid, ctx.rank, round=t)
+    # tail: the last windows' PFS service is still in flight
+    pending = [p for p in service.values() if not p.triggered]
+    if pending:
+        yield env.all_of(pending)
+
+
+def _pipeline_aggregator_window(
+    run: _RunContext, did: int, window: Extent, t: int,
+    service: dict, degraded: bool,
+):
+    if run.op == "write":
+        yield from _pipeline_collect(run, did, window, t, service, degraded)
+    else:
+        yield from _pipeline_scatter(run, did, window, t, service, degraded)
+
+
+def _pipeline_collect(
+    run: _RunContext, did: int, window: Extent, t: int,
+    service: dict, degraded: bool,
+):
+    """Shuffle stage of one write window; the drain runs in background."""
+    ctx, comm = run.ctx, run.comm
+    # double buffering: window t reuses the slot window t-2 drained from
+    prev = service.pop((did, t - 2), None)
+    if prev is not None:
+        yield prev
+    expected = _expected_senders(run, did, window)
+    buffer: Optional[np.ndarray] = None
+    received = 0
+    for _ in range(len(expected)):
+        msg = yield from comm.recv(ctx, tag=(run.op_seq, did, t))
+        received += msg.nbytes
+        if msg.payload is None:
+            continue
+        if buffer is None:
+            buffer = np.zeros(window.length, dtype=np.uint8)
+        q = run.patterns[msg.source].clip(window.offset, window.end)
+        for off, ln, qbuf in q.iter_mapped_extents():
+            rel = off - window.offset
+            buffer[rel : rel + ln] = msg.payload[qbuf : qbuf + ln]
+    if received == 0:
+        return
+    # both half-slots live inside the planned (primary) buffer
+    paged = run.paged_flags.get(did, False)
+    yield from run.node.memcopy(received, paged=paged)
+    if degraded:
+        yield from _pipeline_drain(run, did, window, t, buffer, expected)
+        return
+    run.stats.extra["pipeline_overlapped"] = (
+        run.stats.extra.get("pipeline_overlapped", 0) + 1
+    )
+    service[(did, t)] = ctx.spawn(
+        _pipeline_drain(run, did, window, t, buffer, expected),
+        name=f"rank{ctx.rank}.drain{did}.r{t}",
+    )
+
+
+def _pipeline_drain(
+    run: _RunContext, did: int, window: Extent, t: int, buffer, expected
+):
+    """PFS-service stage of one write window."""
+    ctx = run.ctx
+    tracer = ctx.env.tracer
+    t0 = tracer.now() if tracer.enabled else 0.0
+    pieces = _union_extents(run.patterns, expected, window)
+    for piece in pieces:
+        data = None
+        if buffer is not None:
+            rel = piece.offset - window.offset
+            data = buffer[rel : rel + piece.length]
+        yield from run.pfs.write_extent(run.node, piece, data)
+        run.stats.record_bytes(piece.length)
+        run.stats.record_io_extent(piece.offset, piece.length)
+    if tracer.enabled:
+        tracer.complete(
+            "pipeline", "pipeline.overlap", PID_PIPELINE,
+            ctx.rank * 2 + (t % 2), t0, tracer.now() - t0,
+            stage="drain", rank=ctx.rank, domain=did, window=t,
+            bytes=sum(p.length for p in pieces),
+        )
+
+
+def _pipeline_scatter(
+    run: _RunContext, did: int, window: Extent, t: int,
+    service: dict, degraded: bool,
+):
+    """Shuffle-out stage of one read window; prefetches run in background."""
+    ctx, comm, env = run.ctx, run.comm, run.ctx.env
+    domain = run.domains[did]
+    pf = service.pop((did, t), None)
+    if pf is None:
+        # round 0, or degraded mode: fetch this window inline
+        pf = ctx.spawn(
+            _pipeline_prefetch(run, did, window, t),
+            name=f"rank{ctx.rank}.pf{did}.r{t}",
+        )
+    yield pf
+    buffer, total_read = pf.value
+    nxt = None if degraded else _half_round_extent(domain, t + 1)
+    if nxt is not None and (did, t + 1) not in service:
+        # prefetch the next window into the other slot: the OST reads
+        # run behind this window's scatter
+        run.stats.extra["pipeline_overlapped"] = (
+            run.stats.extra.get("pipeline_overlapped", 0) + 1
+        )
+        service[(did, t + 1)] = ctx.spawn(
+            _pipeline_prefetch(run, did, nxt, t + 1),
+            name=f"rank{ctx.rank}.pf{did}.r{t + 1}",
+        )
+    if total_read == 0:
+        return
+    paged = run.paged_flags.get(did, False)
+    yield from run.node.memcopy(total_read, paged=paged)
+    expected = _expected_senders(run, did, window)
+    sends = []
+    for r in expected:
+        q = run.patterns[r].clip(window.offset, window.end)
+        data = None
+        if buffer is not None:
+            data = np.empty(q.nbytes, dtype=np.uint8)
+            for off, ln, qbuf in q.iter_mapped_extents():
+                rel = off - window.offset
+                data[qbuf : qbuf + ln] = buffer[rel : rel + ln]
+        sends.append(
+            comm.isend(
+                ctx, r, q.nbytes, tag=(run.op_seq, did, t),
+                payload=data, paged_dst=paged,
+            )
+        )
+    if sends:
+        yield env.all_of(sends)
+
+
+def _pipeline_prefetch(run: _RunContext, did: int, window: Extent, t: int):
+    """PFS-service stage of one read window; value = (buffer, bytes read)."""
+    ctx = run.ctx
+    tracer = ctx.env.tracer
+    t0 = tracer.now() if tracer.enabled else 0.0
+    expected = _expected_senders(run, did, window)
+    if not expected:
+        return None, 0
+    buffer: Optional[np.ndarray] = (
+        np.zeros(window.length, dtype=np.uint8)
+        if run.pfs.datastore is not None
+        else None
+    )
+    total = 0
+    pieces = _union_extents(run.patterns, expected, window)
+    for piece in pieces:
+        data = yield from run.pfs.read_extent(run.node, piece)
+        total += piece.length
+        run.stats.record_bytes(piece.length)
+        run.stats.record_io_extent(piece.offset, piece.length)
+        if buffer is not None and data is not None:
+            rel = piece.offset - window.offset
+            buffer[rel : rel + piece.length] = data
+    if tracer.enabled:
+        tracer.complete(
+            "pipeline", "pipeline.overlap", PID_PIPELINE,
+            ctx.rank * 2 + (t % 2), t0, tracer.now() - t0,
+            stage="prefetch", rank=ctx.rank, domain=did, window=t,
+            bytes=total,
+        )
+    return buffer, total
 
 
 # ---------------------------------------------------------------------------

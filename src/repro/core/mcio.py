@@ -150,6 +150,12 @@ class MemoryConsciousCollectiveIO:
             self.comm.cluster.memory_ledger.add_listener(
                 self.plan_cache.on_lease_event
             )
+        #: Callbacks fired when externally frozen plans go stale (see
+        #: :meth:`add_invalidation_listener`); persistent collectives
+        #: subscribe here so lease churn, faults, and failover force a
+        #: re-plan at their next ``start()``.
+        self._invalidation_listeners: list = []
+        self.comm.cluster.memory_ledger.add_listener(self._on_lease_event)
         #: Partition-tree evaluations performed by the most recent
         #: :meth:`plan` call (0 when the plan came from the cache).
         self.last_plan_tree_queries = 0
@@ -164,7 +170,40 @@ class MemoryConsciousCollectiveIO:
         server health), so reuse would be unsound.
         """
         injector.add_listener(self.plan_cache.on_fault_event)
+        injector.add_listener(self._on_fault_event)
         self._fault_injectors.append(injector)
+
+    # ------------------------------------------------------------------
+    def add_invalidation_listener(self, fn) -> None:
+        """Register ``fn(reason)`` to fire whenever frozen plans go stale.
+
+        Fires on lease grant/revoke/expire, fault apply/revert (for
+        injectors wired via :meth:`watch_faults`), and mid-run aggregator
+        failover.  :class:`~repro.core.persistent.PersistentCollective`
+        handles use this to drop their frozen plan and re-plan at the
+        next ``start()``.
+        """
+        self._invalidation_listeners.append(fn)
+
+    def remove_invalidation_listener(self, fn) -> None:
+        """Unregister a callback added by :meth:`add_invalidation_listener`."""
+        try:
+            self._invalidation_listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def _notify_plan_invalidation(self, reason: str) -> None:
+        for fn in list(self._invalidation_listeners):
+            fn(reason)
+
+    def _on_lease_event(self, lease, event) -> None:
+        # renew/release keep the buffer map intact; only grants and
+        # losses move memory between hosts
+        if event in ("grant", "revoke", "expire"):
+            self._notify_plan_invalidation(f"lease-{event}")
+
+    def _on_fault_event(self, event, phase) -> None:
+        self._notify_plan_invalidation(f"fault-{phase}")
 
     # ------------------------------------------------------------------
     def write(self, ctx: RankContext, pattern: AccessPattern,
@@ -409,6 +448,7 @@ class MemoryConsciousCollectiveIO:
                 # aggregators moved mid-run: every cached plan (including
                 # the one just executed) now names stale placements
                 self.plan_cache.invalidate("failover")
+                self._notify_plan_invalidation("failover")
 
     # ------------------------------------------------------------------
     def _plan_with_fallback(

@@ -13,6 +13,7 @@ a ``main()`` CLI entry point::
     python -m repro.experiments.topology
     python -m repro.experiments.resilience
     python -m repro.experiments.borrow
+    python -m repro.experiments.pipeline
 """
 
 from . import (
@@ -23,6 +24,7 @@ from . import (
     figure7,
     figure8,
     memory_pressure,
+    pipeline,
     resilience,
     table1,
 )
@@ -54,6 +56,7 @@ __all__ = [
     "improvement_pct",
     "load_points",
     "memory_pressure",
+    "pipeline",
     "run_collective",
     "run_figure",
     "run_memory_sweep",

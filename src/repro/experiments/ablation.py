@@ -89,10 +89,23 @@ class AblationResult:
         )
 
 
-def run(buffer_mib: int = 16, sigma_mib: int = 50, seed: int = 0) -> AblationResult:
-    """Run the baseline plus every variant on identical platforms."""
-    spec = ross13_testbed(nodes=10)
-    workload = CollPerfWorkload(array_shape=(512, 512, 1024), n_ranks=120)
+def run(
+    buffer_mib: int = 16,
+    sigma_mib: int = 50,
+    seed: int = 0,
+    nodes: int = 10,
+    n_ranks: int = 120,
+    array_shape: tuple[int, int, int] = (512, 512, 1024),
+) -> AblationResult:
+    """Run the baseline plus every variant on identical platforms.
+
+    `nodes`/`n_ranks`/`array_shape` scale the platform and workload
+    together (defaults are the CLI's full study); the variant ranking is
+    stable under proportional downscaling, which the benchmark suite
+    uses for a fast regression check.
+    """
+    spec = ross13_testbed(nodes=nodes)
+    workload = CollPerfWorkload(array_shape=array_shape, n_ranks=n_ranks)
     patterns = workload.patterns()
 
     def fresh_platform() -> Platform:

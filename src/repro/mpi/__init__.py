@@ -5,6 +5,7 @@ Substitutes for MPICH2/mpi4py on the simulated cluster (see DESIGN.md §2).
 
 from .comm import ANY_SOURCE, ANY_TAG, CommGroup, Message, RankContext, SimComm
 from .file import SimFile
+from .request import Request, waitall
 from .datatypes import (
     block_decompose_3d,
     contiguous_view,
@@ -20,8 +21,10 @@ __all__ = [
     "CommGroup",
     "Message",
     "RankContext",
+    "Request",
     "SimComm",
     "SimFile",
+    "waitall",
     "block_decompose_3d",
     "contiguous_view",
     "dims_create",

@@ -23,9 +23,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.persistent import PersistentCollective
 from repro.core.request import AccessPattern, Extent
 
 from .comm import RankContext, SimComm
+from .request import Request
 
 __all__ = ["SimFile"]
 
@@ -49,6 +51,9 @@ class SimFile:
         self.pfs = engine.pfs
         self._views: dict[int, AccessPattern] = {}
         self._closed = False
+        #: Shared persistent-collective handles, in init-call order.
+        self._pcs: list = []
+        self._pc_seq: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -77,6 +82,84 @@ class SimFile:
         """Process generator: collective read of this rank's view."""
         self._check_open()
         return (yield from self.engine.read(ctx, self.view(ctx), payload))
+
+    # ------------------------------------------------------------------
+    # nonblocking collective data operations
+    # ------------------------------------------------------------------
+    def iwrite_all(
+        self, ctx: RankContext, payload: Optional[np.ndarray] = None
+    ) -> Request:
+        """Nonblocking collective write; returns a :class:`Request`.
+
+        The operation runs as a child process of the calling rank —
+        overlap it with computation, then ``yield from req.wait(ctx)``.
+        Waiting immediately after issue is equivalent to ``write_all``.
+        """
+        self._check_open()
+        return Request(
+            ctx.spawn(
+                self.engine.write(ctx, self.view(ctx), payload),
+                name=f"rank{ctx.rank}.iwrite",
+            )
+        )
+
+    def iread_all(
+        self, ctx: RankContext, payload: Optional[np.ndarray] = None
+    ) -> Request:
+        """Nonblocking collective read; the request's result is the data."""
+        self._check_open()
+        return Request(
+            ctx.spawn(
+                self.engine.read(ctx, self.view(ctx), payload),
+                name=f"rank{ctx.rank}.iread",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # persistent collective data operations
+    # ------------------------------------------------------------------
+    def write_all_init(
+        self, ctx: Optional[RankContext] = None, overlap: bool = True
+    ) -> PersistentCollective:
+        """Create a persistent collective write on this file's views.
+
+        Collective, like ``MPI_File_write_all_init``: either call once
+        outside rank processes (the handle is shared like the file), or
+        call from *every* rank's process passing `ctx` — matching init
+        calls (same order on every rank) return the same shared handle.
+        Each timestep then runs ``pc.start(ctx, payload)`` followed by
+        ``yield from pc.wait(ctx)``.  With `overlap` the replay uses the
+        engine's pipelined executor (shuffle of round t over the PFS
+        drain of round t-1); without it the replay is bit-identical to
+        a blocking ``write_all`` minus the re-planning preamble.
+        """
+        return self._persistent_init(ctx, "write", overlap)
+
+    def read_all_init(
+        self, ctx: Optional[RankContext] = None, overlap: bool = True
+    ) -> PersistentCollective:
+        """Create a persistent collective read on this file's views."""
+        return self._persistent_init(ctx, "read", overlap)
+
+    def _persistent_init(
+        self, ctx: Optional[RankContext], op: str, overlap: bool
+    ) -> PersistentCollective:
+        self._check_open()
+        if ctx is None:
+            return PersistentCollective(self, op, overlap=overlap)
+        # per-rank call-order matching: rank r's i-th init call joins the
+        # shared i-th handle (the MPI collective-ordering contract)
+        seq = self._pc_seq.get(ctx.rank, 0)
+        self._pc_seq[ctx.rank] = seq + 1
+        if seq == len(self._pcs):
+            self._pcs.append(PersistentCollective(self, op, overlap=overlap))
+        pc = self._pcs[seq]
+        if pc.op != op or pc.overlap != overlap:
+            raise ValueError(
+                f"rank {ctx.rank}: persistent init #{seq} mismatches other "
+                f"ranks' ({pc.op}/overlap={pc.overlap} vs {op}/overlap={overlap})"
+            )
+        return pc
 
     # ------------------------------------------------------------------
     # independent data operations

@@ -1,0 +1,76 @@
+"""Nonblocking-operation request handles (MPI_Request semantics, sim-time).
+
+``SimFile.iwrite_all`` / ``iread_all`` spawn the collective as a child
+process of the calling rank and hand back a :class:`Request`.  The rank
+generator keeps running — overlapping computation with the collective in
+simulated time — and later completes the handle:
+
+>>> req = fh.iwrite_all(ctx, payload)      # returns immediately
+>>> yield ctx.env.sleep(compute_time)      # overlapped computation
+>>> yield from req.wait(ctx)               # MPI_Wait
+
+``test`` is the nonblocking probe (MPI_Test), :func:`waitall` completes a
+whole batch.  A request wraps an ordinary simulation process, so waiting
+on an already-completed request costs no simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["Request", "waitall"]
+
+
+class Request:
+    """Handle for an in-flight nonblocking operation.
+
+    Wraps the simulation process running the operation; completing the
+    request (``wait``) joins that process and returns the operation's
+    result (the payload for writes, the filled buffer for reads).
+    """
+
+    __slots__ = ("_proc", "_waited")
+
+    def __init__(self, proc):
+        self._proc = proc
+        self._waited = False
+
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has finished (does not advance time)."""
+        return self._proc.triggered
+
+    def test(self):
+        """MPI_Test: ``(done, result)`` — result is None while running."""
+        if self._proc.triggered:
+            return True, self._proc.value
+        return False, None
+
+    def wait(self, ctx):
+        """Process generator: block until the operation completes.
+
+        Returns the operation's result.  Idempotent — waiting twice (or
+        waiting after a successful ``test``) returns the same value
+        without advancing simulated time.
+        """
+        if not self._proc.triggered:
+            yield self._proc
+        self._waited = True
+        return self._proc.value
+
+
+def waitall(ctx, requests: Sequence[Request]):
+    """Process generator: complete every request; returns their results.
+
+    MPI_Waitall — the caller resumes when the *last* operation finishes,
+    at the same simulated instant as waiting on each in turn.
+    """
+    requests = list(requests)
+    pending = [r._proc for r in requests if not r._proc.triggered]
+    if pending:
+        yield ctx.env.all_of(pending)
+    out = []
+    for r in requests:
+        r._waited = True
+        out.append(r._proc.value)
+    return out

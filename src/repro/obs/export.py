@@ -22,6 +22,7 @@ from typing import Iterable, Union
 from .tracer import (
     PID_KERNEL,
     PID_PFS,
+    PID_PIPELINE,
     PID_PLANNER,
     TID_NODE,
     TraceEvent,
@@ -43,10 +44,13 @@ _PROCESS_NAMES = {
     PID_PFS: "pfs",
     PID_KERNEL: "sim-kernel",
     PID_PLANNER: "planner",
+    PID_PIPELINE: "pipeline",
 }
 
 #: Viewer ordering: planner and kernel first, then nodes, PFS last.
-_PROCESS_SORT = {PID_PLANNER: -3, PID_KERNEL: -2, PID_PFS: 10_000}
+_PROCESS_SORT = {
+    PID_PLANNER: -3, PID_KERNEL: -2, PID_PIPELINE: -1, PID_PFS: 10_000,
+}
 
 
 def process_name(pid: int) -> str:
@@ -58,6 +62,11 @@ def thread_name(pid: int, tid: int) -> str:
     """Human name for a trace ``(pid, tid)`` track."""
     if pid == PID_PFS:
         return f"ost{tid}"
+    if pid == PID_PIPELINE:
+        # two tracks per aggregator rank: one per double-buffer slot, so
+        # the two in-flight windows of a pipelined collective overlap
+        # visibly instead of stacking on one thread
+        return f"rank{tid // 2}.w{tid % 2}"
     if pid in (PID_KERNEL, PID_PLANNER):
         return "main"
     if tid == TID_NODE:

@@ -49,6 +49,7 @@ __all__ = [
     "PID_PFS",
     "PID_KERNEL",
     "PID_PLANNER",
+    "PID_PIPELINE",
     "TID_NODE",
 ]
 
@@ -56,6 +57,12 @@ __all__ = [
 PID_PFS = -1
 PID_KERNEL = -2
 PID_PLANNER = -3
+#: Overlapped-window spans of the pipelined executor.  Each aggregator
+#: rank owns *two* threads on this process — ``tid = rank * 2 + slot``
+#: with ``slot = window % 2`` — so the two in-flight windows of a
+#: double-buffered collective render on separate tracks and their
+#: overlap is directly visible.
+PID_PIPELINE = -4
 
 #: Thread id for node-scoped events (faults, shocks) on a node's track.
 TID_NODE = -1

@@ -1,0 +1,160 @@
+"""Nonblocking collective I/O: Request semantics and blocking equivalence.
+
+The contract of ``iwrite_all``/``iread_all`` is MPI's: issuing the
+operation and immediately waiting must be indistinguishable from the
+blocking call — same stats (bit-for-bit, including elapsed), same final
+clock, same file bytes.  The golden workload matrix provides the
+deterministic cells to prove it on.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import TwoPhaseCollectiveIO
+from repro.mpi import Request, SimFile, contiguous_view, waitall
+
+from tests.goldens.cases import (
+    CLUSTER_CASES,
+    _prefill,
+    build_patterns,
+    make_engine,
+    stats_to_jsonable,
+)
+from tests.helpers import make_stack, rank_payload
+
+
+# ---------------------------------------------------------------------------
+# Request semantics
+# ---------------------------------------------------------------------------
+def _small_file(n_ranks=6):
+    stack = make_stack(n_ranks=n_ranks, n_nodes=3)
+    engine = TwoPhaseCollectiveIO(stack.comm, stack.pfs)
+    return stack, SimFile.open(stack.comm, engine)
+
+
+def test_request_test_wait_lifecycle():
+    stack, fh = _small_file()
+    payloads = {r: rank_payload(r, 300) for r in range(6)}
+
+    def main(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * 300, 300))
+        req = fh.iwrite_all(ctx, payloads[ctx.rank].copy())
+        assert isinstance(req, Request)
+        done, _ = req.test()
+        assert not done  # no sim time has passed since issue
+        assert not req.complete
+        yield from req.wait(ctx)
+        assert req.complete
+        done, _ = req.test()
+        assert done
+        # waiting twice is allowed (MPI_Wait on an inactive request)
+        yield from req.wait(ctx)
+        data = yield from fh.iread_all(ctx).wait(ctx)
+        return data
+
+    results = stack.run_spmd(main)
+    for r in range(6):
+        assert (results[r] == payloads[r]).all()
+
+
+def test_request_overlaps_compute():
+    """Sim time for issue + compute + wait is max(io, compute), not sum."""
+    stack, fh = _small_file()
+    payloads = {r: rank_payload(r, 300) for r in range(6)}
+
+    def blocking(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * 300, 300))
+        yield from fh.write_all(ctx, payloads[ctx.rank].copy())
+
+    stack.run_spmd(blocking)
+    io_time = stack.env.now
+
+    stack2, fh2 = _small_file()
+    compute = io_time * 0.9  # fits inside the I/O window
+
+    def overlapped(ctx):
+        fh2.set_view(ctx, contiguous_view(ctx.rank * 300, 300))
+        req = fh2.iwrite_all(ctx, payloads[ctx.rank].copy())
+        yield stack2.env.sleep(compute)
+        yield from req.wait(ctx)
+
+    stack2.run_spmd(overlapped)
+    assert stack2.env.now == pytest.approx(io_time, rel=1e-9)
+
+
+def test_waitall_collects_values():
+    stack, fh = _small_file()
+    payloads = {r: rank_payload(r, 300) for r in range(6)}
+
+    def main(ctx):
+        fh.set_view(ctx, contiguous_view(ctx.rank * 300, 300))
+        yield from fh.iwrite_all(ctx, payloads[ctx.rank].copy()).wait(ctx)
+        reqs = [fh.iread_all(ctx) for _ in range(2)]
+        values = yield from waitall(ctx, reqs)
+        return values
+
+    results = stack.run_spmd(main)
+    for r in range(6):
+        assert len(results[r]) == 2
+        for v in results[r]:
+            assert (v == payloads[r]).all()
+
+
+# ---------------------------------------------------------------------------
+# blocking equivalence on the golden matrix
+# ---------------------------------------------------------------------------
+def _run_matrix_cell(strategy, op, case, nonblocking):
+    """One golden cell through SimFile, blocking or issue-then-wait."""
+    patterns = build_patterns(case)
+    stack = make_stack(
+        n_ranks=case.n_ranks,
+        n_nodes=case.n_nodes,
+        cores=case.cores,
+        stripe_size=case.stripe_size,
+    )
+    if case.memory_availability is not None:
+        stack.cluster.set_memory_availability(case.memory_availability)
+    engine = make_engine(strategy, stack, case)
+    fh = SimFile.open(stack.comm, engine)
+    end = max(p.end for p in patterns if not p.empty)
+    if op == "read":
+        _prefill(stack.pfs.datastore, end)
+    payloads = {
+        r: rank_payload(r, patterns[r].nbytes) for r in range(case.n_ranks)
+    }
+
+    def main(ctx):
+        fh.set_view(ctx, patterns[ctx.rank])
+        payload = payloads[ctx.rank].copy() if op == "write" else None
+        if nonblocking:
+            issue = fh.iwrite_all if op == "write" else fh.iread_all
+            return (yield from issue(ctx, payload).wait(ctx))
+        fn = fh.write_all if op == "write" else fh.read_all
+        return (yield from fn(ctx, payload))
+
+    results = stack.run_spmd(main)
+    image = np.asarray(stack.pfs.datastore.read(0, end), dtype=np.uint8)
+    record = {
+        "final_now_hex": float(stack.env.now).hex(),
+        "datastore_sha256": hashlib.sha256(image.tobytes()).hexdigest(),
+        "stats": stats_to_jsonable(engine.history[0]),
+    }
+    if op == "read":
+        record["rank_sha256"] = [
+            hashlib.sha256(
+                np.asarray(results[r], dtype=np.uint8).tobytes()
+            ).hexdigest()
+            for r in range(case.n_ranks)
+        ]
+    return record
+
+
+@pytest.mark.parametrize("case", CLUSTER_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("strategy", ("mcio", "two-phase"))
+@pytest.mark.parametrize("op", ("write", "read"))
+def test_immediate_wait_is_bit_identical_to_blocking(case, strategy, op):
+    blocking = _run_matrix_cell(strategy, op, case, nonblocking=False)
+    nonblocking = _run_matrix_cell(strategy, op, case, nonblocking=True)
+    assert nonblocking == blocking
