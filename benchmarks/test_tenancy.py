@@ -1,0 +1,48 @@
+"""Benchmark: multi-tenant contention sweep.
+
+Tracks the tenancy layer end to end on a reduced grid — tenant count x
+regime x policy with both placement strategies, every cell paired with
+its per-job isolated baselines.  The acceptance numbers are the PR's
+findings: with one tenant the host must reduce to the single-job path
+(slowdown exactly 1), and under memory variance with real contention
+memory-conscious placement must degrade more gracefully than the
+memory-oblivious baseline (lower mean slowdown, no worse fairness).
+"""
+
+from repro.experiments import tenancy
+
+
+def test_tenancy_sweep(once):
+    result = once(
+        lambda: tenancy.run(
+            tenants=(1, 4),
+            regimes=("uniform", "variance"),
+            policies=("free-for-all", "ost-throttle"),
+            strategies=("mcio", "oblivious"),
+            steps=2,
+            seed=0,
+        )
+    )
+    by_key = {
+        (p.tenants, p.regime, p.policy, p.strategy): p for p in result.points
+    }
+
+    # one tenant == the single-job simulator: no interference by construction
+    for key, p in by_key.items():
+        if key[0] == 1:
+            assert p.mean_slowdown == 1.0
+            assert p.jain == 1.0
+
+    # the headline: under variance + contention, memory-conscious
+    # placement absorbs sharing better than oblivious placement
+    for policy in ("free-for-all", "ost-throttle"):
+        mcio = by_key[(4, "variance", policy, "mcio")]
+        obliv = by_key[(4, "variance", policy, "oblivious")]
+        assert mcio.mean_slowdown < obliv.mean_slowdown
+        assert mcio.jain >= obliv.jain
+
+    # throttling trades queueing wait for contention slowdown
+    ffa = by_key[(4, "variance", "free-for-all", "mcio")]
+    throttled = by_key[(4, "variance", "ost-throttle", "mcio")]
+    assert throttled.mean_slowdown <= ffa.mean_slowdown
+    assert throttled.mean_wait > ffa.mean_wait

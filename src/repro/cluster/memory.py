@@ -261,6 +261,12 @@ class Lease:
     granted_at / expires_at:
         Sim-time lease term; :meth:`LeaseLedger.renew` pushes
         ``expires_at`` forward.
+    tenant:
+        Owning job's identity in a multi-tenant environment (None for
+        single-job runs).  Invalidation listeners filter on it so one
+        tenant's lease churn never stales another tenant's cached or
+        frozen plans; an untagged lease conservatively invalidates
+        everyone.
     state:
         ``active`` | ``released`` | ``revoked`` | ``expired``.
     outcome_reason:
@@ -276,6 +282,7 @@ class Lease:
     granted_at: float
     expires_at: float
     label: str = ""
+    tenant: Optional[str] = None
     state: str = "active"
     outcome_reason: Optional[str] = None
     _alloc: Optional[Allocation] = field(default=None, repr=False)
@@ -339,15 +346,24 @@ class LeaseLedger:
         """Active leases in grant order."""
         return [self._active[k] for k in sorted(self._active)]
 
-    def digest(self) -> tuple:
+    def digest(self, tenant: Optional[str] = None) -> tuple:
         """Order-stable fingerprint of the active lease set.
 
         Part of the plan-cache signature: a plan built against one lease
-        landscape must not be replayed against another.
+        landscape must not be replayed against another.  With `tenant`,
+        foreign tenants' tagged leases are excluded — their pinned bytes
+        already show through the lenders' committed memory (and hence the
+        memory digest), so they must not churn this tenant's signatures.
+        Untagged leases are always included.
         """
+        leases = self.active_leases()
+        if tenant is not None:
+            leases = [
+                lease for lease in leases if lease.tenant in (None, tenant)
+            ]
         return tuple(
             (lease.lease_id, lease.lender_node, lease.nbytes)
-            for lease in self.active_leases()
+            for lease in leases
         )
 
     # ------------------------------------------------------------------
@@ -359,6 +375,7 @@ class LeaseLedger:
         now: float,
         term: float,
         headroom: int = 0,
+        tenant: Optional[str] = None,
     ) -> Optional[Lease]:
         """Try to lease `nbytes` on `lender_node`; None on denial.
 
@@ -387,6 +404,7 @@ class LeaseLedger:
             granted_at=float(now),
             expires_at=float(now) + float(term),
             label=label,
+            tenant=tenant,
             _alloc=node.memory.alloc(int(nbytes), label=label),
         )
         self._active[lease_id] = lease

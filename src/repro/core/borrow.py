@@ -67,10 +67,13 @@ class BorrowDegraded(RuntimeError):
 class BorrowSession:
     """Shared per-collective lease state (one instance across all ranks)."""
 
-    def __init__(self, ledger, config, op_seq):
+    def __init__(self, ledger, config, op_seq, tenant=None):
         self.ledger = ledger
         self.config = config
         self.op_seq = op_seq
+        #: Owning job's identity (stamped on every lease this session
+        #: grants) in a multi-tenant environment; None otherwise.
+        self.tenant = tenant
         #: domain id -> Lease, filled by the borrowing aggregators.
         self.leases: dict = {}
         #: domain id -> grant attempts, for domains whose acquisition
@@ -119,7 +122,7 @@ def acquire_leases(run, session: BorrowSession):
             lease = session.ledger.grant(
                 domain.lender_node, ctx.rank, domain.buffer_bytes,
                 now=env.now, term=cfg.lease_term,
-                headroom=cfg.lend_headroom,
+                headroom=cfg.lend_headroom, tenant=session.tenant,
             )
             if lease is not None or attempts >= cfg.lease_retry_limit:
                 break

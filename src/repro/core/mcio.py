@@ -109,10 +109,18 @@ class MemoryConsciousCollectiveIO:
         comm: SimComm,
         pfs: ParallelFileSystem,
         config: Optional[MCIOConfig] = None,
+        tenant: Optional[str] = None,
     ):
         self.comm = comm
         self.pfs = pfs
         self.config = config if config is not None else MCIOConfig()
+        #: Owning job's identity when several engines share one cluster
+        #: (see :mod:`repro.tenancy`).  Leases this engine grants are
+        #: tagged with it, and lease events from *other* tenants' tagged
+        #: leases neither drop this engine's plan cache nor stale its
+        #: persistent handles.  None (the default) preserves the
+        #: single-job behaviour: every lease event invalidates.
+        self.tenant = tenant
         self._rank_seq: dict[int, int] = {}
         #: Floor for freshly seen ranks' sequence numbers: a vectorized
         #: collective consumes one sequence slot for *all* ranks at once
@@ -144,6 +152,7 @@ class MemoryConsciousCollectiveIO:
         #: :mod:`repro.core.plan_cache`); disabled unless
         #: ``config.plan_cache`` opts in.
         self.plan_cache = PlanCache(enabled=self.config.plan_cache)
+        self.plan_cache.tenant = tenant
         if self.plan_cache.enabled:
             # lease grants/revocations change where aggregation buffers
             # live, so plans cached against the old lease set are stale
@@ -199,8 +208,20 @@ class MemoryConsciousCollectiveIO:
     def _on_lease_event(self, lease, event) -> None:
         # renew/release keep the buffer map intact; only grants and
         # losses move memory between hosts
-        if event in ("grant", "revoke", "expire"):
-            self._notify_plan_invalidation(f"lease-{event}")
+        if event not in ("grant", "revoke", "expire"):
+            return
+        # another tenant's tagged lease changes *its* buffer map, not
+        # ours: the memory it pins reaches our next plan through the
+        # lenders' committed bytes, so staling our frozen plans for it
+        # would be pure cross-tenant bleed
+        lease_tenant = getattr(lease, "tenant", None)
+        if (
+            self.tenant is not None
+            and lease_tenant is not None
+            and lease_tenant != self.tenant
+        ):
+            return
+        self._notify_plan_invalidation(f"lease-{event}")
 
     def _on_fault_event(self, event, phase) -> None:
         self._notify_plan_invalidation(f"fault-{phase}")
@@ -300,7 +321,10 @@ class MemoryConsciousCollectiveIO:
             # lease-free plans get no session at all: the borrow machinery
             # must not perturb never-triggered runs
             self._borrows[seq] = (
-                BorrowSession(self.comm.cluster.memory_ledger, self.config, seq)
+                BorrowSession(
+                    self.comm.cluster.memory_ledger, self.config, seq,
+                    tenant=self.tenant,
+                )
                 if borrowed
                 else None
             )
@@ -349,7 +373,9 @@ class MemoryConsciousCollectiveIO:
         stripe = self.pfs.layout.stripe_size if self.config.stripe_align else 0
         key = cache.signature(
             patterns, self.config, failed_nodes, stripe,
-            lease_digest=self.comm.cluster.memory_ledger.digest(),
+            lease_digest=self.comm.cluster.memory_ledger.digest(
+                tenant=self.tenant
+            ),
         )
         digest = (
             ()

@@ -87,6 +87,11 @@ class PlanCache:
             raise ValueError("capacity must be >= 1")
         self.enabled = bool(enabled)
         self.capacity = int(capacity)
+        #: Owning tenant in a multi-tenant environment (None = sole
+        #: tenant).  :meth:`on_lease_event` ignores foreign tenants'
+        #: tagged leases so one job's lease churn never drops another
+        #: job's entries.
+        self.tenant: Optional[str] = None
         self.stats = PlanCacheStats()
         #: Reasons of explicit invalidations, newest last (diagnostics).
         self.invalidation_log: list[str] = []
@@ -238,10 +243,21 @@ class PlanCache:
         revoke or expiry frees capacity that could change placement.
         Releases at normal end-of-collective return the ledger to the
         pre-grant state the next planning pass observes anyway, so they
-        do not invalidate on their own.
+        do not invalidate on their own.  In a multi-tenant environment a
+        lease tagged with a *different* tenant is ignored: its memory
+        impact reaches this tenant through the memory-bucket digest, not
+        through a cache wipe.  Untagged leases invalidate everyone.
         """
-        if event in ("grant", "revoke", "expire"):
-            self.invalidate(f"lease:{event}")
+        if event not in ("grant", "revoke", "expire"):
+            return
+        lease_tenant = getattr(lease, "tenant", None)
+        if (
+            self.tenant is not None
+            and lease_tenant is not None
+            and lease_tenant != self.tenant
+        ):
+            return
+        self.invalidate(f"lease:{event}")
 
     def clear(self) -> None:
         """Drop all entries without counting an invalidation (test aid)."""

@@ -14,6 +14,7 @@ a ``main()`` CLI entry point::
     python -m repro.experiments.resilience
     python -m repro.experiments.borrow
     python -m repro.experiments.pipeline
+    python -m repro.experiments.tenancy
 """
 
 from . import (
@@ -27,6 +28,7 @@ from . import (
     pipeline,
     resilience,
     table1,
+    tenancy,
 )
 from . import topology  # noqa: F401  (registered experiment)
 from .figures import FigureConfig, FigureResult, run_figure
@@ -67,5 +69,6 @@ __all__ = [
     "sweep_rows",
     "sweep_table",
     "table1",
+    "tenancy",
     "topology",
 ]

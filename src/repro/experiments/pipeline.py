@@ -31,9 +31,18 @@ Every cell writes (or reads) the same bytes; the sweep cross-checks the
 datastore images across modes within each regime, so the speedup column
 is backed by a byte-identical result.
 
+With ``--tenants N`` (N > 1) every cell hosts N copies of the loop as
+concurrent tenant jobs on one shared platform
+(:class:`repro.tenancy.TenancyHost`): same regimes, same modes, but the
+shuffle and the PFS drain now contend with N-1 other tenants.  The
+table gains a Jain fairness column over the per-tenant loop times, so
+the overlap speedup can be read against what sharing costs.  The
+default ``--tenants 1`` keeps the original single-job path bit-for-bit.
+
 Run as a script::
 
-    python -m repro.experiments.pipeline [--jobs N] [--trace-out PATH]
+    python -m repro.experiments.pipeline [--tenants N] [--jobs N]
+        [--trace-out PATH]
 """
 
 from __future__ import annotations
@@ -102,10 +111,12 @@ class PipelinePoint:
     mode: str
     op: str
     elapsed: float  # simulated seconds for the whole STEPS-epoch loop
-    replans: int  # planning passes the persistent handle performed
+    replans: int  # planning passes the persistent handle(s) performed
     overlapped: int  # background PFS-service stages across all epochs
     datastore_sha256: str
-    stats: CollectiveStats  # last epoch's record
+    stats: CollectiveStats  # last epoch's record (first tenant's)
+    tenants: int = 1  # concurrent copies of the loop sharing the platform
+    fairness: float = 1.0  # Jain index over per-tenant loop times
 
 
 def _rank_bytes(rank: int, nbytes: int) -> np.ndarray:
@@ -121,7 +132,9 @@ def _pipeline_cell(cell, tracer=None) -> PipelinePoint:
     results at any ``jobs`` count.  `tracer` is only passed on the
     serial path (a live tracer cannot cross a process boundary).
     """
-    regime, mode, op, steps, seed = cell
+    regime, mode, op, steps, seed = cell[:5]
+    if len(cell) > 5 and cell[5] > 1:
+        return _tenant_pipeline_cell(cell, tracer=tracer)
     platform = Platform.build(
         _spec(), N_RANKS, seed=seed, with_data=True, tracer=tracer
     )
@@ -174,6 +187,66 @@ def _pipeline_cell(cell, tracer=None) -> PipelinePoint:
     )
 
 
+def _tenant_pipeline_cell(cell, tracer=None) -> PipelinePoint:
+    """One sweep cell with N concurrent tenants on a shared platform.
+
+    Each tenant runs the same STEPS-epoch checkpoint loop as the
+    single-job cell — same ranks-per-job, block size, mode, and regime —
+    against its own disjoint file region, all admitted at t=0 (pure
+    contention, no queueing policy).  `elapsed` is the makespan and
+    `fairness` the Jain index over the per-tenant loop times; the
+    datastore image spans every tenant's region, so the cross-mode
+    byte check still holds per (regime, op).
+    """
+    from repro.tenancy import TenancyHost, TenantJob, jain_index
+
+    regime, mode, op, steps, seed, tenants = cell
+    config = MCIOConfig(
+        msg_group=10**9, msg_ind=256 * KIB, mem_min=200_000, nah=4,
+        min_buffer=1, cb_buffer_size=64 * KIB,
+    )
+    host = TenancyHost(_spec(), seed=seed, tracer=tracer)
+    host.cluster.set_memory_availability(REGIMES[regime])
+    # every tenant uses the full machine: rank r on node r, so tenants
+    # co-locate on every node and contend for its memory and NIC
+    placement = list(range(N_NODES))
+    for t in range(tenants):
+        host.submit(
+            TenantJob(
+                name=f"t{t}",
+                placement=placement,
+                op=op,
+                steps=steps,
+                block=BLOCK,
+                offset=t * N_RANKS * BLOCK,
+                mode=mode,
+                payload_seed=t,
+                config=config,
+            )
+        )
+    records = host.run()
+    image = host.pfs.datastore.read(0, tenants * N_RANKS * BLOCK)
+    replans = overlapped = 0
+    if mode != "blocking":
+        for fh in host.files.values():
+            replans += fh._pcs[0].replans if fh._pcs else 0
+    for engine in host.engines.values():
+        for stats in engine.history:
+            overlapped += stats.extra.get("pipeline_overlapped", 0)
+    return PipelinePoint(
+        regime=regime,
+        mode=mode,
+        op=op,
+        elapsed=max(r.finished for r in records),
+        replans=replans,
+        overlapped=overlapped,
+        datastore_sha256=hashlib.sha256(np.asarray(image).tobytes()).hexdigest(),
+        stats=host.engines["t0"].history[-1],
+        tenants=tenants,
+        fairness=jain_index([r.elapsed for r in records]),
+    )
+
+
 @dataclass
 class PipelineResult:
     """All sweep points plus derived speedups."""
@@ -193,6 +266,9 @@ class PipelineResult:
         return base / point.elapsed
 
     def render(self) -> str:
+        # single-tenant output is unchanged; the fairness column only
+        # appears once a multi-tenant cell is present
+        multi = any(p.tenants > 1 for p in self.points)
         rows = [
             (
                 p.regime,
@@ -203,11 +279,13 @@ class PipelineResult:
                 p.replans,
                 p.overlapped,
             )
+            + ((p.tenants, f"{p.fairness:.4f}") if multi else ())
             for p in self.points
         ]
         return format_table(
             ("regime", "op", "mode", "sim time (s)", "speedup",
-             "replans", "overlapped"),
+             "replans", "overlapped")
+            + (("tenants", "jain") if multi else ()),
             rows,
             title=(
                 f"Persistent & pipelined collective I/O — "
@@ -216,7 +294,9 @@ class PipelineResult:
         )
 
 
-def run(steps: int = STEPS, seed: int = 0, jobs=1, tracer=None) -> PipelineResult:
+def run(
+    steps: int = STEPS, seed: int = 0, jobs=1, tracer=None, tenants: int = 1
+) -> PipelineResult:
     """Sweep execution mode x memory regime x op on paired platforms.
 
     Every cell runs the same per-rank byte pattern, so within one
@@ -225,12 +305,16 @@ def run(steps: int = STEPS, seed: int = 0, jobs=1, tracer=None) -> PipelineResul
     `jobs` fans the independent cells out across worker processes
     (``None``/``0`` = one per core, ``1`` = serial); identical results
     at any jobs count.  A tracer forces the serial path and lays every
-    cell on one concatenated timeline.
+    cell on one concatenated timeline.  ``tenants > 1`` runs every cell
+    as that many concurrent copies of the loop sharing one platform
+    (the byte check then spans every tenant's file region).
     """
     from repro.parallel import ParallelRunner, resolve_jobs
 
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
     cells = [
-        (regime, mode, op, steps, seed)
+        (regime, mode, op, steps, seed, tenants)
         for regime in REGIMES
         for op in ("write", "read")
         for mode in MODES
@@ -267,6 +351,11 @@ def main(argv=None) -> None:
         help=f"checkpoint epochs per cell (default {STEPS})",
     )
     parser.add_argument(
+        "--tenants", type=int, default=1, metavar="N",
+        help="concurrent copies of the loop sharing each cell's platform "
+        "(default 1 = the original single-job sweep)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for independent sweep cells "
         "(0 = one per core; ignored with --trace-out)",
@@ -282,7 +371,9 @@ def main(argv=None) -> None:
         from repro.obs import Tracer
 
         tracer = Tracer(capacity=1 << 20)
-    result = run(steps=args.steps, tracer=tracer, jobs=args.jobs)
+    result = run(
+        steps=args.steps, tracer=tracer, jobs=args.jobs, tenants=args.tenants
+    )
     print(result.render())
     if tracer is not None:
         from repro.obs import write_chrome

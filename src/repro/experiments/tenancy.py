@@ -1,0 +1,355 @@
+"""Multi-tenant contention sweep: does memory-consciousness survive sharing?
+
+The paper evaluates MCIO with one job owning the machine.  Production
+parallel file systems are shared: at any instant several collectives
+from different jobs hammer the same OSTs and links.  This sweep crosses
+
+* **tenant count** — 1, 2, 4, 8 concurrent jobs (Poisson arrivals, one
+  seeded stream per cell) on one shared 8-node / 4-OST platform;
+* **memory regime** — ``uniform`` (every node aggregation-capable) vs.
+  ``variance`` (two rich nodes host every aggregator);
+* **scheduler policy** — free-for-all / fifo / ost-throttle admission
+  (:mod:`repro.tenancy.scheduler`);
+* **strategy** — ``mcio`` (memory-conscious placement) vs.
+  ``oblivious`` (``memory_oblivious=True``: the ROMIO-style fixed
+  aggregator set),
+
+and reports, per cell: mean and max per-job slowdown vs. each job's
+isolated run on an identical idle platform, the Jain fairness index
+over those slowdowns, aggregate PFS utilization, and makespan.  The
+question it answers: under contention, does memory-conscious placement
+still beat oblivious placement (per-tenant *and* in aggregate), and
+which admission policy keeps the mix fair as tenants pile up?
+
+Every cell is a pure function of its coordinates (rank-independent
+seeds via :func:`repro.parallel.cell_seed`), so ``--jobs N`` sharding
+and serial runs produce byte-identical JSON.
+
+Run as a script::
+
+    python -m repro.experiments.tenancy [--tenants 1,2,4,8] [--jobs N]
+        [--json-out PATH] [--trace-out PATH]
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.cluster import ClusterSpec, NodeSpec, StorageSpec
+from repro.core import MCIOConfig
+
+from .report import format_table
+
+__all__ = ["TenancyPoint", "TenancyResult", "run", "main"]
+
+KIB = 1024
+
+#: Per-rank contiguous block per step (big enough to stress the OSTs).
+BLOCK = 256 * KIB
+RANKS_PER_JOB = 4
+N_NODES = 8
+STEPS = 2
+#: Mean job arrivals per sim second for the Poisson stream.
+RATE = 2.0
+
+TENANTS = (1, 2, 4, 8)
+POLICIES = ("free-for-all", "fifo", "ost-throttle")
+STRATEGIES = ("mcio", "oblivious")
+
+RICH = 3_000_000
+POOR = 100_000
+
+REGIMES = {
+    "uniform": (RICH,) * N_NODES,
+    "variance": (RICH, RICH) + (POOR,) * (N_NODES - 2),
+}
+
+
+def _spec() -> ClusterSpec:
+    return ClusterSpec(
+        nodes=N_NODES,
+        node=NodeSpec(
+            cores=1,
+            memory_bytes=10**9,
+            memory_bandwidth=1e8,
+            memory_channels=2,
+            nic_bandwidth=1e6,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=4,
+            server_bandwidth=5e5,
+            request_overhead=1e-3,
+            stripe_size=64 * KIB,
+        ),
+    )
+
+
+def _config(strategy: str) -> MCIOConfig:
+    return MCIOConfig(
+        msg_group=10**9,
+        msg_ind=256 * KIB,
+        mem_min=200_000,
+        nah=4,
+        min_buffer=1,
+        cb_buffer_size=64 * KIB,
+        memory_oblivious=(strategy == "oblivious"),
+    )
+
+
+@dataclass
+class TenancyPoint:
+    """One (tenants, regime, policy, strategy) cell of the sweep."""
+
+    tenants: int
+    regime: str
+    policy: str
+    strategy: str
+    mean_slowdown: float
+    max_slowdown: float
+    jain: float
+    makespan: float
+    pfs_utilization: float
+    mean_wait: float
+    total_bytes: int
+    records: list  # per-job JobRecord dicts, submission order
+
+    def to_json(self) -> dict:
+        """Stable plain-dict form (byte-identical for identical runs)."""
+        return {
+            "tenants": self.tenants,
+            "regime": self.regime,
+            "policy": self.policy,
+            "strategy": self.strategy,
+            "mean_slowdown": round(self.mean_slowdown, 9),
+            "max_slowdown": round(self.max_slowdown, 9),
+            "jain": round(self.jain, 9),
+            "makespan": round(self.makespan, 9),
+            "pfs_utilization": round(self.pfs_utilization, 9),
+            "mean_wait": round(self.mean_wait, 9),
+            "total_bytes": self.total_bytes,
+            "records": self.records,
+        }
+
+
+def _tenancy_cell(cell, tracer=None) -> TenancyPoint:
+    """One sweep cell: a shared run plus per-job isolated baselines.
+
+    Module-level and driven by a plain picklable tuple so the
+    cell-sharding runner can ship it to worker processes; identical
+    results at any ``--jobs`` count.  The per-cell arrival stream is
+    seeded from the cell coordinates, so every policy/strategy sees the
+    *same* job mix for a given (tenants, regime, seed).
+    """
+    from repro.parallel import cell_seed
+    from repro.tenancy import (
+        FairnessReport,
+        TenancyHost,
+        jobs_from_arrivals,
+        resolve_policy,
+        run_isolated,
+    )
+    from repro.workloads import PoissonArrivals
+
+    tenants, regime, policy_name, strategy, steps, seed = cell
+    stream_seed = cell_seed(seed, "tenancy", tenants, regime)
+    arrivals = PoissonArrivals(
+        rate=RATE,
+        n_jobs=tenants,
+        seed=stream_seed,
+        read_fraction=0.25,
+        n_ranks=RANKS_PER_JOB,
+        blocks=(BLOCK,),
+        steps=(steps,),
+    ).jobs()
+    jobs = jobs_from_arrivals(
+        arrivals, n_nodes=N_NODES, layout="striped", config=_config(strategy)
+    )
+    availability = REGIMES[regime]
+
+    host = TenancyHost(
+        _spec(), seed=seed, policy=resolve_policy(policy_name), tracer=tracer
+    )
+    host.cluster.set_memory_availability(availability)
+    for job in jobs:
+        host.submit(job)
+    records = host.run()
+    baselines = [
+        run_isolated(_spec(), job, seed=seed, availability=availability)
+        for job in jobs
+    ]
+    report = FairnessReport.build(records, baselines, host.pfs_bandwidth)
+    return TenancyPoint(
+        tenants=tenants,
+        regime=regime,
+        policy=policy_name,
+        strategy=strategy,
+        mean_slowdown=report.mean_slowdown,
+        max_slowdown=report.max_slowdown,
+        jain=report.jain,
+        makespan=report.makespan,
+        pfs_utilization=report.pfs_utilization,
+        mean_wait=sum(r.wait for r in records) / len(records),
+        total_bytes=report.total_bytes,
+        records=[r.to_json() for r in records],
+    )
+
+
+@dataclass
+class TenancyResult:
+    """All sweep points."""
+
+    points: list[TenancyPoint]
+    steps: int
+
+    def render(self) -> str:
+        rows = [
+            (
+                p.tenants,
+                p.regime,
+                p.policy,
+                p.strategy,
+                f"{p.mean_slowdown:.3f}",
+                f"{p.max_slowdown:.3f}",
+                f"{p.jain:.4f}",
+                f"{p.mean_wait:.3f}",
+                f"{p.makespan:.3f}",
+                f"{p.pfs_utilization:.3f}",
+            )
+            for p in self.points
+        ]
+        return format_table(
+            ("tenants", "regime", "policy", "strategy", "slowdown",
+             "max", "jain", "wait (s)", "makespan (s)", "PFS util"),
+            rows,
+            title=(
+                f"Multi-tenant collective I/O — {RANKS_PER_JOB}-rank jobs, "
+                f"{self.steps}-step loops, {N_NODES} nodes / 4 OSTs"
+            ),
+        )
+
+    def to_json(self) -> dict:
+        """Stable plain-dict form of the whole sweep."""
+        return {
+            "steps": self.steps,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    def to_json_str(self) -> str:
+        """Canonical JSON (sorted keys, no whitespace) — the determinism
+        artifact CI compares across ``--jobs`` counts."""
+        return json.dumps(self.to_json(), sort_keys=True, separators=(",", ":"))
+
+
+def run(
+    tenants=TENANTS,
+    regimes=tuple(REGIMES),
+    policies=POLICIES,
+    strategies=STRATEGIES,
+    steps: int = STEPS,
+    seed: int = 0,
+    jobs=1,
+    tracer=None,
+) -> TenancyResult:
+    """Sweep tenant count x memory regime x policy x strategy.
+
+    `jobs` fans the independent cells out across worker processes
+    (``None``/``0`` = one per core, ``1`` = serial); identical results
+    at any jobs count.  A tracer forces the serial path and lays every
+    cell on one concatenated timeline (per-job lifecycle tracks
+    included).
+    """
+    from repro.parallel import ParallelRunner, resolve_jobs
+
+    cells = [
+        (n, regime, policy, strategy, steps, seed)
+        for n in tenants
+        for regime in regimes
+        for policy in policies
+        for strategy in strategies
+    ]
+    if tracer is None and resolve_jobs(jobs) > 1:
+        with ParallelRunner(jobs=jobs) as runner:
+            points = runner.map(_tenancy_cell, cells)
+    else:
+        points = [_tenancy_cell(cell, tracer=tracer) for cell in cells]
+    return TenancyResult(points=list(points), steps=steps)
+
+
+def _csv(text: str, cast=str) -> tuple:
+    return tuple(cast(part) for part in text.split(",") if part)
+
+
+def main(argv=None) -> None:
+    """CLI entry point."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.tenancy",
+        description="Multi-tenant collective-I/O contention sweep.",
+    )
+    parser.add_argument(
+        "--tenants", default=",".join(str(n) for n in TENANTS), metavar="LIST",
+        help=f"comma-separated tenant counts (default {','.join(map(str, TENANTS))})",
+    )
+    parser.add_argument(
+        "--policies", default=",".join(POLICIES), metavar="LIST",
+        help=f"comma-separated admission policies (default {','.join(POLICIES)})",
+    )
+    parser.add_argument(
+        "--strategies", default=",".join(STRATEGIES), metavar="LIST",
+        help=f"comma-separated strategies (default {','.join(STRATEGIES)})",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=STEPS, metavar="N",
+        help=f"checkpoint epochs per job (default {STEPS})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base seed for arrival streams and platforms (default 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent sweep cells "
+        "(0 = one per core; ignored with --trace-out)",
+    )
+    parser.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="write the canonical JSON result to PATH",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="export a Chrome/Perfetto trace of the whole sweep to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs import Tracer
+
+        tracer = Tracer(capacity=1 << 20)
+    result = run(
+        tenants=_csv(args.tenants, int),
+        policies=_csv(args.policies),
+        strategies=_csv(args.strategies),
+        steps=args.steps,
+        seed=args.seed,
+        jobs=args.jobs,
+        tracer=tracer,
+    )
+    print(result.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fp:
+            fp.write(result.to_json_str())
+            fp.write("\n")
+        print(f"json written to {args.json_out}")
+    if tracer is not None:
+        from repro.obs import write_chrome
+
+        write_chrome(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ import json
 from typing import Iterable, Union
 
 from .tracer import (
+    PID_JOB_BASE,
     PID_KERNEL,
     PID_PFS,
     PID_PIPELINE,
@@ -55,11 +56,15 @@ _PROCESS_SORT = {
 
 def process_name(pid: int) -> str:
     """Human name for a trace ``pid`` track."""
+    if pid <= PID_JOB_BASE:
+        return f"job{PID_JOB_BASE - pid}"
     return _PROCESS_NAMES.get(pid, f"node{pid}")
 
 
 def thread_name(pid: int, tid: int) -> str:
     """Human name for a trace ``(pid, tid)`` track."""
+    if pid <= PID_JOB_BASE:
+        return "lifecycle"
     if pid == PID_PFS:
         return f"ost{tid}"
     if pid == PID_PIPELINE:
@@ -122,13 +127,20 @@ def to_chrome(source: Union[Tracer, Iterable[TraceEvent]]) -> dict:
                 "args": {"name": process_name(pid)},
             }
         )
+        # job tracks sort to the top of the viewer, job0 first (pids
+        # descend from PID_JOB_BASE, so the index must re-ascend)
+        sort_index = (
+            -10 + (PID_JOB_BASE - pid) * 1e-3
+            if pid <= PID_JOB_BASE
+            else _PROCESS_SORT.get(pid, pid)
+        )
         out.append(
             {
                 "ph": "M",
                 "name": "process_sort_index",
                 "pid": pid,
                 "tid": 0,
-                "args": {"sort_index": _PROCESS_SORT.get(pid, pid)},
+                "args": {"sort_index": sort_index},
             }
         )
         for tid in sorted(tracks[pid]):

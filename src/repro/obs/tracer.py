@@ -50,6 +50,7 @@ __all__ = [
     "PID_KERNEL",
     "PID_PLANNER",
     "PID_PIPELINE",
+    "PID_JOB_BASE",
     "TID_NODE",
 ]
 
@@ -63,6 +64,13 @@ PID_PLANNER = -3
 #: double-buffered collective render on separate tracks and their
 #: overlap is directly visible.
 PID_PIPELINE = -4
+#: Per-tenant job tracks in a multi-tenant run: job *j* owns the
+#: synthetic process ``pid = PID_JOB_BASE - j`` (descending, so job pids
+#: never collide with the fixed synthetic tracks above).  The tenancy
+#: host lays each job's lifecycle — arrival instant, admission wait,
+#: run span — on its own track, which is what makes cross-job
+#: interference directly visible next to the shared node/PFS tracks.
+PID_JOB_BASE = -100
 
 #: Thread id for node-scoped events (faults, shocks) on a node's track.
 TID_NODE = -1

@@ -1,0 +1,108 @@
+"""Cross-job fairness metrics for multi-tenant runs.
+
+Definitions (used consistently by the sweep, the docs, and the tests):
+
+* **per-job slowdown** — ``shared_elapsed / isolated_elapsed``: the
+  job's admission-to-completion time on the contended platform divided
+  by the same job's time running *alone* on an identical platform.
+  1.0 = no interference; queueing delay is reported separately
+  (``JobRecord.wait``) so the slowdown isolates contention from policy.
+* **Jain fairness index** — ``J(x) = (Σxᵢ)² / (n · Σxᵢ²)`` over the
+  per-job slowdowns.  1.0 when every tenant suffers equally; toward
+  ``1/n`` when one tenant absorbs all the interference.
+* **aggregate PFS utilization** — total payload bytes moved by all jobs
+  divided by ``makespan × (servers × server_bandwidth)``: the fraction
+  of the storage system's aggregate bandwidth the tenant mix achieved
+  end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["FairnessReport", "jain_index"]
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(Σx)² / (n·Σx²)`` of non-negative values.
+
+    1.0 for a perfectly even allocation (including the empty and the
+    all-zero cases, which are vacuously fair), approaching ``1/n`` as a
+    single value dominates.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    s = sum(xs)
+    s2 = sum(x * x for x in xs)
+    if s2 == 0.0:
+        return 1.0
+    return (s * s) / (len(xs) * s2)
+
+
+@dataclass(frozen=True)
+class FairnessReport:
+    """Cross-job metrics of one multi-tenant run."""
+
+    slowdowns: tuple
+    jain: float
+    makespan: float
+    pfs_utilization: float
+    total_bytes: int
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Arithmetic mean of the per-job slowdowns."""
+        return sum(self.slowdowns) / len(self.slowdowns) if self.slowdowns else 1.0
+
+    @property
+    def max_slowdown(self) -> float:
+        """Worst tenant's slowdown."""
+        return max(self.slowdowns) if self.slowdowns else 1.0
+
+    @classmethod
+    def build(
+        cls, records, baselines, pfs_bandwidth: float
+    ) -> "FairnessReport":
+        """Compute the report from paired shared/isolated records.
+
+        Parameters
+        ----------
+        records:
+            :class:`~repro.tenancy.job.JobRecord` list from the shared
+            run (submission order).
+        baselines:
+            Matching records of each job running alone on an identical
+            platform (same order).
+        pfs_bandwidth:
+            Aggregate server bandwidth, bytes/s
+            (``servers * server_bandwidth``).
+        """
+        if len(records) != len(baselines):
+            raise ValueError(
+                f"{len(records)} shared records vs {len(baselines)} baselines"
+            )
+        slowdowns = tuple(
+            (r.elapsed / b.elapsed) if b.elapsed > 0 else 1.0
+            for r, b in zip(records, baselines)
+        )
+        if records:
+            makespan = max(r.finished for r in records) - min(
+                r.arrived for r in records
+            )
+        else:
+            makespan = 0.0
+        total = sum(r.total_bytes for r in records)
+        util = (
+            total / (makespan * pfs_bandwidth)
+            if makespan > 0 and pfs_bandwidth > 0
+            else 0.0
+        )
+        return cls(
+            slowdowns=slowdowns,
+            jain=jain_index(slowdowns),
+            makespan=makespan,
+            pfs_utilization=util,
+            total_bytes=total,
+        )

@@ -1,0 +1,134 @@
+"""Cooperative admission policies for the tenancy host.
+
+The host keeps an arrival-ordered admission queue and asks the policy
+about its *head* whenever the queue could move — a job arriving, a job
+completing.  Policies therefore never reorder tenants (no overtaking,
+which keeps runs deterministic and starvation-free); they only decide
+*when* the next tenant may start.  The three stock policies span the
+design space the experiments sweep:
+
+* :class:`FreeForAll` — admit immediately; every tenant contends for
+  the PFS and network at once (the "no scheduler" baseline);
+* :class:`FifoAdmission` — at most `width` jobs run concurrently (the
+  classic batch-queue serialization, ``width=1`` by default);
+* :class:`OstThrottle` — concurrency scales with the shared file
+  system's server count: admit while the running set claims fewer than
+  ``ceil(n_servers * jobs_per_ost)`` slots.  With enough OSTs the
+  throttle behaves like free-for-all; on a narrow PFS it degrades
+  toward FIFO — an OST-aware middle ground.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "FifoAdmission",
+    "FreeForAll",
+    "OstThrottle",
+    "SchedulerPolicy",
+    "SchedulerState",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerState:
+    """What the policy may look at when deciding the queue head.
+
+    Attributes
+    ----------
+    now:
+        Current sim time.
+    running:
+        Names of currently admitted, unfinished jobs (admission order).
+    waiting:
+        Names of queued jobs, arrival order (head first — the job being
+        decided).
+    n_servers:
+        I/O server (OST) count of the shared file system.
+    """
+
+    now: float
+    running: tuple
+    waiting: tuple
+    n_servers: int
+
+
+class SchedulerPolicy:
+    """Admission seam: decide whether the queue head may start now."""
+
+    name = "policy"
+
+    def admit(self, job, state: SchedulerState) -> bool:
+        """True to admit `job` (the queue head) at ``state.now``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class FreeForAll(SchedulerPolicy):
+    """Concurrent free-for-all: every arrival is admitted immediately."""
+
+    name = "free-for-all"
+
+    def admit(self, job, state: SchedulerState) -> bool:
+        return True
+
+
+class FifoAdmission(SchedulerPolicy):
+    """At most `width` concurrent jobs, strictly in arrival order."""
+
+    name = "fifo"
+
+    def __init__(self, width: int = 1):
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = int(width)
+
+    def admit(self, job, state: SchedulerState) -> bool:
+        return len(state.running) < self.width
+
+
+class OstThrottle(SchedulerPolicy):
+    """Cap concurrency at ``ceil(n_servers * jobs_per_ost)`` jobs.
+
+    The cap tracks the storage system's parallelism instead of a fixed
+    number: a job stripes its aggregated requests over every OST, so
+    once a few jobs are in flight each extra tenant only deepens the
+    per-server queues (the interference the fairness metrics measure).
+    """
+
+    name = "ost-throttle"
+
+    def __init__(self, jobs_per_ost: float = 0.5):
+        if jobs_per_ost <= 0:
+            raise ValueError("jobs_per_ost must be > 0")
+        self.jobs_per_ost = float(jobs_per_ost)
+
+    def cap(self, n_servers: int) -> int:
+        """Concurrent-job cap for a PFS with `n_servers` OSTs."""
+        return max(1, math.ceil(n_servers * self.jobs_per_ost))
+
+    def admit(self, job, state: SchedulerState) -> bool:
+        return len(state.running) < self.cap(state.n_servers)
+
+
+#: CLI names -> policy factories (zero-argument, stock parameters).
+_POLICIES = {
+    FreeForAll.name: FreeForAll,
+    FifoAdmission.name: FifoAdmission,
+    OstThrottle.name: OstThrottle,
+}
+
+
+def resolve_policy(name: str) -> SchedulerPolicy:
+    """Instantiate a stock policy by its CLI name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r} (choose from {sorted(_POLICIES)})"
+        ) from None

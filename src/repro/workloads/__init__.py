@@ -1,5 +1,7 @@
-"""Benchmark workload generators: coll_perf, IOR, and synthetic patterns."""
+"""Benchmark workload generators: coll_perf, IOR, synthetic patterns,
+and multi-tenant job-arrival streams."""
 
+from .arrivals import JobArrival, PoissonArrivals, TraceArrivals
 from .coll_perf import CollPerfWorkload
 from .ior import IORWorkload
 from .synthetic import SkewedWorkload, SmallRequestWorkload
@@ -7,6 +9,9 @@ from .synthetic import SkewedWorkload, SmallRequestWorkload
 __all__ = [
     "CollPerfWorkload",
     "IORWorkload",
+    "JobArrival",
+    "PoissonArrivals",
     "SkewedWorkload",
     "SmallRequestWorkload",
+    "TraceArrivals",
 ]

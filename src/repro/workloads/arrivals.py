@@ -1,0 +1,152 @@
+"""Seeded job-arrival generators for multi-tenant runs.
+
+The tenancy layer (:mod:`repro.tenancy`) consumes a stream of
+:class:`JobArrival` specs — when each job shows up and what it wants to
+do — and maps them onto concrete jobs via
+:func:`repro.tenancy.job.jobs_from_arrivals`.  Two generators cover the
+usual experiment shapes:
+
+* :class:`PoissonArrivals` — memoryless inter-arrival times at a given
+  rate, with a read/write mix and per-job size distributions, all drawn
+  from one ``numpy`` generator seeded explicitly (same seed, same
+  stream, on any machine and at any ``--jobs`` sharding);
+* :class:`TraceArrivals` — replay an explicit ``(time, op, ...)`` list,
+  e.g. hand-written scenarios or schedules parsed from a batch-queue
+  log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["JobArrival", "PoissonArrivals", "TraceArrivals"]
+
+
+@dataclass(frozen=True)
+class JobArrival:
+    """One job's arrival: when it shows up and what it asks for."""
+
+    index: int
+    time: float
+    op: str = "write"
+    n_ranks: int = 4
+    block: int = 64 * 1024
+    steps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.op not in ("write", "read"):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.time < 0 or self.n_ranks < 1 or self.block < 1 or self.steps < 1:
+            raise ValueError("need time >= 0, n_ranks/block/steps >= 1")
+
+
+class PoissonArrivals:
+    """Poisson job arrivals with a read/write mix and size draws.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrivals per sim second (inter-arrival times are
+        ``Exp(1/rate)``).
+    n_jobs:
+        Number of arrivals to generate.
+    seed:
+        Seed for the private ``numpy`` generator; the stream is a pure
+        function of the constructor arguments.
+    read_fraction:
+        Probability a job is a read (vs. write).
+    n_ranks:
+        Rank count per job (constant; the tenancy mapper may override).
+    blocks:
+        Candidate per-rank block sizes, drawn uniformly per job.
+    steps:
+        Candidate step counts, drawn uniformly per job.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        n_jobs: int,
+        seed: int = 0,
+        read_fraction: float = 0.0,
+        n_ranks: int = 4,
+        blocks: Sequence[int] = (64 * 1024,),
+        steps: Sequence[int] = (1,),
+    ):
+        if rate <= 0 or n_jobs < 1:
+            raise ValueError("need rate > 0 and n_jobs >= 1")
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not blocks or not steps:
+            raise ValueError("need at least one block size and step count")
+        self.rate = float(rate)
+        self.n_jobs = int(n_jobs)
+        self.seed = int(seed)
+        self.read_fraction = float(read_fraction)
+        self.n_ranks = int(n_ranks)
+        self.blocks = tuple(int(b) for b in blocks)
+        self.steps = tuple(int(s) for s in steps)
+
+    def jobs(self) -> list[JobArrival]:
+        """Generate the arrival list (same seed, same list)."""
+        rng = np.random.default_rng(self.seed)
+        out = []
+        t = 0.0
+        for j in range(self.n_jobs):
+            t += float(rng.exponential(1.0 / self.rate))
+            op = "read" if float(rng.random()) < self.read_fraction else "write"
+            block = self.blocks[int(rng.integers(len(self.blocks)))]
+            steps = self.steps[int(rng.integers(len(self.steps)))]
+            out.append(
+                JobArrival(
+                    index=j, time=t, op=op, n_ranks=self.n_ranks,
+                    block=block, steps=steps,
+                )
+            )
+        return out
+
+
+class TraceArrivals:
+    """Replay an explicit arrival trace.
+
+    Each entry is ``(time, op)`` or ``(time, op, n_ranks, block, steps)``
+    — short entries take the constructor defaults.
+    """
+
+    def __init__(
+        self,
+        trace: Sequence,
+        n_ranks: int = 4,
+        block: int = 64 * 1024,
+        steps: int = 1,
+    ):
+        self.trace = list(trace)
+        self.n_ranks = int(n_ranks)
+        self.block = int(block)
+        self.steps = int(steps)
+
+    def jobs(self) -> list[JobArrival]:
+        """Materialize the trace (arrivals sorted by time, ties in order)."""
+        out = []
+        for j, entry in enumerate(self.trace):
+            time, op = entry[0], entry[1]
+            n_ranks = entry[2] if len(entry) > 2 else self.n_ranks
+            block = entry[3] if len(entry) > 3 else self.block
+            steps = entry[4] if len(entry) > 4 else self.steps
+            out.append(
+                JobArrival(
+                    index=j, time=float(time), op=op, n_ranks=int(n_ranks),
+                    block=int(block), steps=int(steps),
+                )
+            )
+        out.sort(key=lambda a: (a.time, a.index))
+        return [
+            JobArrival(
+                index=j, time=a.time, op=a.op, n_ranks=a.n_ranks,
+                block=a.block, steps=a.steps,
+            )
+            for j, a in enumerate(out)
+        ]

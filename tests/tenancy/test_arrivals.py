@@ -1,0 +1,109 @@
+"""Arrival generators and the arrival -> TenantJob mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import jobs_from_arrivals
+from repro.workloads import JobArrival, PoissonArrivals, TraceArrivals
+
+KIB = 1024
+
+
+class TestPoissonArrivals:
+    def test_same_seed_same_stream(self):
+        gen = dict(rate=3.0, n_jobs=10, seed=11, read_fraction=0.5,
+                   blocks=(4 * KIB, 64 * KIB), steps=(1, 2))
+        assert PoissonArrivals(**gen).jobs() == PoissonArrivals(**gen).jobs()
+
+    def test_different_seed_different_stream(self):
+        a = PoissonArrivals(rate=3.0, n_jobs=10, seed=1).jobs()
+        b = PoissonArrivals(rate=3.0, n_jobs=10, seed=2).jobs()
+        assert a != b
+
+    def test_times_increase(self):
+        arrivals = PoissonArrivals(rate=2.0, n_jobs=20, seed=0).jobs()
+        assert len(arrivals) == 20
+        assert all(x.time < y.time for x, y in zip(arrivals, arrivals[1:]))
+        assert [a.index for a in arrivals] == list(range(20))
+
+    def test_read_fraction_extremes(self):
+        reads = PoissonArrivals(rate=1.0, n_jobs=10, seed=0,
+                                read_fraction=1.0).jobs()
+        writes = PoissonArrivals(rate=1.0, n_jobs=10, seed=0,
+                                 read_fraction=0.0).jobs()
+        assert all(a.op == "read" for a in reads)
+        assert all(a.op == "write" for a in writes)
+
+    def test_draws_from_size_menu(self):
+        menu = (4 * KIB, 64 * KIB)
+        arrivals = PoissonArrivals(rate=1.0, n_jobs=30, seed=0,
+                                   blocks=menu, steps=(1, 3)).jobs()
+        assert {a.block for a in arrivals} <= set(menu)
+        assert {a.steps for a in arrivals} <= {1, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0, n_jobs=1)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0, n_jobs=0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0, n_jobs=1, read_fraction=1.5)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=1.0, n_jobs=1, blocks=())
+
+
+class TestTraceArrivals:
+    def test_replay_sorted_and_reindexed(self):
+        arrivals = TraceArrivals(
+            [(1.0, "write"), (0.5, "read", 8), (0.5, "write", 2, KIB, 4)]
+        ).jobs()
+        assert [a.time for a in arrivals] == [0.5, 0.5, 1.0]
+        assert [a.index for a in arrivals] == [0, 1, 2]
+        # same-instant entries keep trace order
+        assert arrivals[0].op == "read" and arrivals[0].n_ranks == 8
+        assert arrivals[1].block == KIB and arrivals[1].steps == 4
+
+    def test_defaults_fill_short_entries(self):
+        (a,) = TraceArrivals([(0.0, "write")], n_ranks=6, block=2 * KIB,
+                             steps=5).jobs()
+        assert (a.n_ranks, a.block, a.steps) == (6, 2 * KIB, 5)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([(0.0, "append")]).jobs()
+
+
+class TestJobsFromArrivals:
+    def _arrivals(self, n=4):
+        return [
+            JobArrival(index=j, time=0.1 * j, op="write", n_ranks=4,
+                       block=KIB, steps=2)
+            for j in range(n)
+        ]
+
+    def test_striped_layout_colocates(self):
+        jobs = jobs_from_arrivals(self._arrivals(), n_nodes=8)
+        assert [j.placement for j in jobs] == [
+            [0, 1, 2, 3], [1, 2, 3, 4], [2, 3, 4, 5], [3, 4, 5, 6]
+        ]
+
+    def test_packed_layout_disjoint_while_room(self):
+        jobs = jobs_from_arrivals(self._arrivals(2), n_nodes=8, layout="packed")
+        assert jobs[0].placement == [0, 1, 2, 3]
+        assert jobs[1].placement == [4, 5, 6, 7]
+
+    def test_regions_never_overlap(self):
+        jobs = jobs_from_arrivals(self._arrivals(), n_nodes=8)
+        for a, b in zip(jobs, jobs[1:]):
+            assert b.offset == a.offset + a.region_bytes
+
+    def test_metadata_carried_through(self):
+        jobs = jobs_from_arrivals(self._arrivals(), n_nodes=8, mode="persistent")
+        assert all(j.mode == "persistent" for j in jobs)
+        assert [j.payload_seed for j in jobs] == [0, 1, 2, 3]
+        assert [j.arrival for j in jobs] == [0.0, 0.1, 0.2, pytest.approx(0.3)]
+
+    def test_bad_layout_rejected(self):
+        with pytest.raises(ValueError):
+            jobs_from_arrivals(self._arrivals(), n_nodes=8, layout="diagonal")

@@ -1,0 +1,222 @@
+"""TenancyHost: determinism, co-location, faults, and mid-run arrivals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, StorageSpec
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.tenancy import (
+    FairnessReport,
+    FifoAdmission,
+    FreeForAll,
+    OstThrottle,
+    TenancyHost,
+    TenantJob,
+    run_isolated,
+)
+
+KIB = 1024
+BLOCK = 128 * KIB
+
+
+def _spec(nodes: int = 8) -> ClusterSpec:
+    return ClusterSpec(
+        nodes=nodes,
+        node=NodeSpec(
+            cores=1,
+            memory_bytes=10**9,
+            memory_bandwidth=1e8,
+            memory_channels=2,
+            nic_bandwidth=1e6,
+            nic_latency=1e-6,
+        ),
+        storage=StorageSpec(
+            servers=4,
+            server_bandwidth=5e5,
+            request_overhead=1e-3,
+            stripe_size=64 * KIB,
+        ),
+    )
+
+
+def _jobs(n: int = 3, stagger: float = 0.05, **kw) -> list[TenantJob]:
+    defaults = dict(block=BLOCK, steps=2)
+    defaults.update(kw)
+    return [
+        TenantJob(
+            name=f"job{j}",
+            placement=[(j + i) % 8 for i in range(4)],
+            arrival=j * stagger,
+            offset=j * 4 * defaults["block"],
+            payload_seed=j,
+            **defaults,
+        )
+        for j in range(n)
+    ]
+
+
+def _run(jobs, policy=None, spec=None, seed=0):
+    host = TenancyHost(spec or _spec(), seed=seed, policy=policy)
+    for job in jobs:
+        host.submit(job)
+    return host, host.run()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        """Two identical submissions replay the exact record stream."""
+        lines = []
+        for _ in range(2):
+            _, records = _run(_jobs())
+            lines.append("\n".join(r.to_json_str() for r in records))
+        assert lines[0] == lines[1]
+
+    def test_policies_deterministic(self):
+        for policy in (FreeForAll(), FifoAdmission(), OstThrottle()):
+            a = [r.to_json_str() for r in _run(_jobs(), policy=policy)[1]]
+            b = [r.to_json_str() for r in _run(_jobs(), policy=policy)[1]]
+            assert a == b
+
+    def test_single_tenant_matches_isolated(self):
+        """With one tenant, shared == isolated: slowdown exactly 1."""
+        job = _jobs(1)[0]
+        host, records = _run([job])
+        baseline = run_isolated(_spec(), job, seed=0)
+        report = FairnessReport.build(records, [baseline], host.pfs_bandwidth)
+        assert report.slowdowns == (1.0,)
+        assert report.jain == 1.0
+
+
+class TestSharedPlatform:
+    def test_colocated_aggregators_roundtrip(self):
+        """Tenants stacked on the same nodes both land correct bytes."""
+        # identical placements: every job's aggregators share every host
+        jobs = [
+            TenantJob(
+                name=f"job{j}", placement=[0, 1, 2, 3], block=BLOCK,
+                steps=2, offset=j * 4 * BLOCK, payload_seed=j,
+            )
+            for j in range(2)
+        ]
+        host, records = _run(jobs)
+        for job in jobs:
+            for r in range(job.n_ranks):
+                got = np.asarray(
+                    host.pfs.datastore.read(job.offset + r * job.block, job.block)
+                )
+                assert np.array_equal(got, job.payload(r)), (job.name, r)
+
+    def test_read_write_mix(self):
+        jobs = _jobs(3)
+        jobs[1] = TenantJob(
+            name="job1", placement=jobs[1].placement, arrival=jobs[1].arrival,
+            op="read", block=BLOCK, steps=2, offset=jobs[1].offset,
+            payload_seed=1,
+        )
+        _, records = _run(jobs)
+        assert [r.op for r in records] == ["write", "read", "write"]
+        assert all(r.finished > r.admitted for r in records)
+
+    def test_contention_slows_tenants_down(self):
+        """Concurrent tenants cannot beat their isolated runs."""
+        jobs = _jobs(3, stagger=0.0)
+        host, records = _run(jobs)
+        baselines = [run_isolated(_spec(), j, seed=0) for j in jobs]
+        report = FairnessReport.build(records, baselines, host.pfs_bandwidth)
+        assert all(s >= 1.0 for s in report.slowdowns)
+        assert max(report.slowdowns) > 1.0
+        assert 0.0 < report.jain <= 1.0
+
+    def test_tenant_arriving_mid_shuffle(self):
+        """A tenant that lands while another is mid-collective is undisturbed."""
+        first = _jobs(1, steps=4)[0]
+        solo_elapsed = run_isolated(_spec(), first, seed=0).elapsed
+        late = TenantJob(
+            name="late", placement=[4, 5, 6, 7], arrival=solo_elapsed / 3,
+            block=BLOCK, steps=1, offset=10 * 4 * BLOCK, payload_seed=9,
+        )
+        host, records = _run([first, late])
+        by_name = {r.name: r for r in records}
+        assert by_name["late"].arrived == pytest.approx(solo_elapsed / 3)
+        assert by_name["late"].admitted >= by_name["late"].arrived
+        for job in (first, late):
+            for r in range(job.n_ranks):
+                got = np.asarray(
+                    host.pfs.datastore.read(job.offset + r * job.block, job.block)
+                )
+                assert np.array_equal(got, job.payload(r))
+
+    def test_node_failure_hits_both_tenants(self):
+        """A node failing mid-run slows both tenants, corrupts neither."""
+        jobs = _jobs(2, stagger=0.0)
+        _, healthy = _run(jobs)
+        spec = _spec()
+        host = TenancyHost(spec, seed=0)
+        for job in jobs:
+            host.submit(job)
+        # node 1 hosts ranks of both jobs (striped placement)
+        schedule = FaultSchedule(
+            [FaultEvent(time=0.5, kind="node_failure", target=1,
+                        magnitude=4.0, duration=5.0)]
+        )
+        FaultInjector(host.env, host.cluster, host.pfs, schedule).start()
+        faulted = host.run()
+        for before, after in zip(healthy, faulted):
+            assert after.finished >= before.finished
+        assert any(
+            after.finished > before.finished
+            for before, after in zip(healthy, faulted)
+        )
+        for job in jobs:
+            for r in range(job.n_ranks):
+                got = np.asarray(
+                    host.pfs.datastore.read(job.offset + r * job.block, job.block)
+                )
+                assert np.array_equal(got, job.payload(r))
+
+
+class TestAdmission:
+    def test_fifo_serializes(self):
+        """width=1 FIFO: at most one tenant's run interval at a time."""
+        _, records = _run(_jobs(3), policy=FifoAdmission())
+        spans = sorted((r.admitted, r.finished) for r in records)
+        for (_, end_prev), (start_next, _) in zip(spans, spans[1:]):
+            assert start_next >= end_prev
+
+    def test_ost_throttle_caps_concurrency(self):
+        """4 OSTs at 0.5 jobs/OST -> at most 2 tenants at once."""
+        _, records = _run(_jobs(4, stagger=0.0), policy=OstThrottle())
+        times = sorted(
+            {r.admitted for r in records} | {r.finished for r in records}
+        )
+        for t in times:
+            running = sum(1 for r in records if r.admitted <= t < r.finished)
+            assert running <= 2
+
+    def test_waits_only_from_policy(self):
+        _, records = _run(_jobs(3), policy=FreeForAll())
+        assert all(r.wait == 0.0 for r in records)
+
+
+class TestHostSurface:
+    def test_duplicate_name_rejected(self):
+        host = TenancyHost(_spec())
+        host.submit(_jobs(1)[0])
+        with pytest.raises(ValueError):
+            host.submit(_jobs(1)[0])
+
+    def test_host_single_use(self):
+        host, _ = _run(_jobs(1))
+        with pytest.raises(RuntimeError):
+            host.run()
+        with pytest.raises(RuntimeError):
+            host.submit(_jobs(2)[1])
+
+    def test_persistent_mode_records_replans(self):
+        jobs = _jobs(2, mode="persistent")
+        _, records = _run(jobs)
+        assert all(r.mode == "persistent" for r in records)
+        assert all(r.replans >= 1 for r in records)
+        assert all(r.collectives == r.steps for r in records)

@@ -1,0 +1,100 @@
+"""Fairness math and the scheduler-policy unit surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tenancy import (
+    FairnessReport,
+    FifoAdmission,
+    FreeForAll,
+    OstThrottle,
+    SchedulerState,
+    jain_index,
+    resolve_policy,
+)
+from repro.tenancy.job import JobRecord
+
+
+def _record(name, arrived, admitted, finished, nbytes=1000):
+    return JobRecord(
+        name=name, op="write", mode="blocking", steps=1, n_ranks=4,
+        total_bytes=nbytes, arrived=arrived, admitted=admitted,
+        finished=finished,
+    )
+
+
+class TestJainIndex:
+    def test_even_allocation_is_one(self):
+        assert jain_index([2.0, 2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_single_dominator_approaches_reciprocal(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_degenerate_cases_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        xs = [1.0, 2.0, 3.0]
+        assert jain_index(xs) == pytest.approx(jain_index([10 * x for x in xs]))
+
+
+class TestFairnessReport:
+    def test_build(self):
+        shared = [_record("a", 0.0, 0.0, 4.0), _record("b", 1.0, 1.0, 3.0)]
+        isolated = [_record("a", 0.0, 0.0, 2.0), _record("b", 0.0, 0.0, 2.0)]
+        report = FairnessReport.build(shared, isolated, pfs_bandwidth=1000.0)
+        assert report.slowdowns == (2.0, 1.0)
+        assert report.mean_slowdown == pytest.approx(1.5)
+        assert report.max_slowdown == 2.0
+        assert report.jain == pytest.approx(jain_index([2.0, 1.0]))
+        assert report.makespan == 4.0  # first arrival 0.0 .. last finish 4.0
+        assert report.pfs_utilization == pytest.approx(2000 / (4.0 * 1000.0))
+
+    def test_wait_excluded_from_slowdown(self):
+        """Queueing shows up in wait/makespan, never in slowdown."""
+        shared = [_record("a", 0.0, 5.0, 7.0)]  # waited 5s, ran 2s
+        isolated = [_record("a", 0.0, 0.0, 2.0)]
+        report = FairnessReport.build(shared, isolated, pfs_bandwidth=1.0)
+        assert report.slowdowns == (1.0,)
+        assert shared[0].wait == 5.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FairnessReport.build([_record("a", 0, 0, 1)], [], 1.0)
+
+
+class TestPolicies:
+    def _state(self, running=(), n_servers=4):
+        return SchedulerState(
+            now=0.0, running=tuple(running), waiting=("head",),
+            n_servers=n_servers,
+        )
+
+    def test_free_for_all_always_admits(self):
+        assert FreeForAll().admit(None, self._state(running=("a",) * 50))
+
+    def test_fifo_width(self):
+        fifo = FifoAdmission(width=2)
+        assert fifo.admit(None, self._state(running=("a",)))
+        assert not fifo.admit(None, self._state(running=("a", "b")))
+        with pytest.raises(ValueError):
+            FifoAdmission(width=0)
+
+    def test_ost_throttle_tracks_servers(self):
+        throttle = OstThrottle(jobs_per_ost=0.5)
+        assert throttle.cap(4) == 2
+        assert throttle.cap(16) == 8
+        assert throttle.cap(1) == 1
+        assert throttle.admit(None, self._state(running=("a",), n_servers=4))
+        assert not throttle.admit(
+            None, self._state(running=("a", "b"), n_servers=4)
+        )
+
+    def test_resolve_policy(self):
+        assert resolve_policy("free-for-all").name == "free-for-all"
+        assert resolve_policy("fifo").name == "fifo"
+        assert resolve_policy("ost-throttle").name == "ost-throttle"
+        with pytest.raises(ValueError):
+            resolve_policy("lottery")

@@ -1,0 +1,69 @@
+"""The tenancy sweep and the pipeline --tenants axis (scaled down)."""
+
+from __future__ import annotations
+
+from repro.experiments import pipeline as pipeline_mod
+from repro.experiments import tenancy as tenancy_mod
+
+
+def _small(jobs=1):
+    return tenancy_mod.run(
+        tenants=(1, 2),
+        regimes=("variance",),
+        policies=("free-for-all",),
+        strategies=("mcio", "oblivious"),
+        steps=1,
+        seed=0,
+        jobs=jobs,
+    )
+
+
+class TestTenancySweep:
+    def test_single_tenant_is_interference_free(self):
+        result = _small()
+        for p in result.points:
+            if p.tenants == 1:
+                assert p.mean_slowdown == 1.0
+                assert p.jain == 1.0
+
+    def test_contention_and_sanity(self):
+        result = _small()
+        for p in result.points:
+            assert p.mean_slowdown >= 1.0
+            assert p.max_slowdown >= p.mean_slowdown
+            assert 0.0 < p.jain <= 1.0
+            assert 0.0 < p.pfs_utilization <= 1.0
+            assert len(p.records) == p.tenants
+
+    def test_sharded_run_byte_identical(self):
+        assert _small(jobs=1).to_json_str() == _small(jobs=2).to_json_str()
+
+    def test_same_mix_across_policies_and_strategies(self):
+        """One (tenants, regime, seed) draws one arrival stream."""
+        result = tenancy_mod.run(
+            tenants=(2,), regimes=("uniform",),
+            policies=("free-for-all", "fifo"), strategies=("mcio",),
+            steps=1, seed=0,
+        )
+        mixes = {
+            tuple((r["op"], r["arrived"], r["total_bytes"]) for r in p.records)
+            for p in result.points
+        }
+        assert len(mixes) == 1
+
+
+class TestPipelineTenants:
+    def test_two_tenants_reports_fairness(self):
+        result = pipeline_mod.run(steps=1, tenants=2)
+        assert all(p.tenants == 2 for p in result.points)
+        assert all(0.0 < p.fairness <= 1.0 for p in result.points)
+        # the cross-mode datastore check inside run() already passed;
+        # persistent handles replanned once per tenant
+        for p in result.points:
+            if p.mode != "blocking":
+                assert p.replans == 2
+
+    def test_single_tenant_unchanged(self):
+        """tenants=1 keeps the original cells (defaults untouched)."""
+        result = pipeline_mod.run(steps=1, tenants=1)
+        assert all(p.tenants == 1 and p.fairness == 1.0 for p in result.points)
